@@ -1,0 +1,90 @@
+//===- ablation_mock_policy.cpp - Mock-policy fan-out sweep ----------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// The paper's mock policy (Section 3.3) creates one mock object per
+// candidate type per entry-point parameter, "to ensure that the analysis
+// will remain scalable regardless of the number of entry points". This
+// ablation sweeps the per-parameter fan-out cap on an endpoint whose
+// parameter type has many concrete application subtypes: small caps lose
+// completeness (subtypes never witnessed, their code unreachable), large
+// caps only add work — the trade-off the one-mock-per-type rule navigates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <cstdio>
+
+using namespace jackee;
+using namespace jackee::core;
+using namespace jackee::ir;
+
+/// One REST endpoint `handle(PayloadBase)` plus N payload subtypes, each
+/// with its own handler class only reachable through that payload's
+/// process() override.
+static Application fanoutApp(int PayloadKinds) {
+  Application App;
+  App.Name = "fanout";
+  App.Populate = [PayloadKinds](Program &P, const javalib::JavaLib &L,
+                                const frameworks::FrameworkLib &F) {
+    (void)F;
+    auto appClass = [&](const std::string &Name, TypeId Super) {
+      return P.addClass(Name, TypeKind::Class, Super, {}, false, true);
+    };
+    TypeId Base = P.addClass("fan.PayloadBase", TypeKind::Class, L.Object,
+                             {}, /*IsAbstract=*/true, true);
+    P.addMethod(Base, "process", {}, TypeId::invalid(), false,
+                /*IsAbstract=*/true);
+
+    for (int I = 0; I != PayloadKinds; ++I) {
+      std::string N = std::to_string(I);
+      TypeId Helper = appClass("fan.Helper" + N, L.Object);
+      P.addMethod(Helper, "<init>", {}, TypeId::invalid());
+      MethodBuilder Work =
+          P.addMethod(Helper, "work", {}, TypeId::invalid());
+      (void)Work;
+
+      TypeId Payload = appClass("fan.Payload" + N, Base);
+      P.addMethod(Payload, "<init>", {}, TypeId::invalid());
+      MethodBuilder Process =
+          P.addMethod(Payload, "process", {}, TypeId::invalid());
+      VarId H = Process.local("h", Helper);
+      Process.alloc(H, Helper)
+          .specialCall(VarId::invalid(), H,
+                       P.findMethod(Helper, "<init>", {}), {})
+          .virtualCall(VarId::invalid(), H, "work", {}, {});
+    }
+
+    TypeId Endpoint = appClass("fan.Endpoint", L.Object);
+    P.addMethod(Endpoint, "<init>", {}, TypeId::invalid());
+    MethodBuilder Handle =
+        P.addMethod(Endpoint, "handle", {Base}, TypeId::invalid());
+    P.annotateMethod(Handle.id(), "javax.ws.rs.@POST");
+    Handle.virtualCall(VarId::invalid(), Handle.param(0), "process", {}, {});
+    return std::vector<std::pair<std::string, std::string>>{};
+  };
+  return App;
+}
+
+int main() {
+  constexpr int PayloadKinds = 24;
+  std::printf("=== Ablation: mock-policy per-parameter fan-out cap ===\n");
+  std::printf("endpoint parameter has %d concrete subtypes\n\n", PayloadKinds);
+  std::printf("%6s %12s %12s %12s\n", "cap", "reach(%)", "work-items",
+              "time(s)");
+
+  Application App = fanoutApp(PayloadKinds);
+  for (uint32_t Cap : {1u, 4u, 12u, 24u, 48u}) {
+    frameworks::MockPolicyOptions Options;
+    Options.MaxMockTypesPerParam = Cap;
+    Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH, Options);
+    std::printf("%6u %12.2f %12llu %12.4f\n", Cap, M.reachabilityPercent(),
+                static_cast<unsigned long long>(M.SolverWorkItems),
+                M.ElapsedSeconds);
+  }
+  std::printf("\nSmall caps cut completeness (subtype handlers unseen); the\n"
+              "one-mock-per-type rule keeps the cost linear in types, not in\n"
+              "entry points.\n");
+  return 0;
+}

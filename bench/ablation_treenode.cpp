@@ -1,0 +1,66 @@
+//===- ablation_treenode.cpp - TreeNode elimination in isolation -----------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// The paper calls the elimination of HashMap$TreeNode "the largest
+// complexity-removal factor" of the sound-modulo-analysis rewrite
+// (Section 4). This ablation separates that step from the rest: it runs
+// 2objH against three collection models —
+//
+//   2objH      original JDK 8 shapes, TreeNodes included
+//   nt-2objH   original shapes with every tree path removed (ablation)
+//   mod-2objH  the full sound-modulo replacement
+//
+// and reports solver effort and java.util inference mass. Expected order:
+// 2objH > nt-2objH > mod-2objH, with the TreeNode step accounting for a
+// large slice of the total reduction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "synth/SynthApp.h"
+
+#include <cstdio>
+
+using namespace jackee;
+using namespace jackee::core;
+
+int main() {
+  std::printf("=== Ablation: TreeNode elimination vs the full rewrite ===\n\n");
+  std::printf("%-12s %-10s %9s %12s %14s %10s\n", "benchmark", "model",
+              "time(s)", "work-items", "j.u. tuples", "ju-share");
+
+  for (synth::BenchApp App : {synth::BenchApp::WebGoat,
+                              synth::BenchApp::Bitbucket,
+                              synth::BenchApp::OpenCms}) {
+    Application A = synth::applicationFor(App);
+    uint64_t BaseWork = 0, BaseJu = 0;
+    uint64_t NtWork = 0, ModWork = 0;
+    for (AnalysisKind Kind :
+         {AnalysisKind::TwoObjH, AnalysisKind::NoTreeNode2ObjH,
+          AnalysisKind::Mod2ObjH}) {
+      Metrics M = runAnalysis(A, Kind);
+      std::printf("%-12s %-10s %9.3f %12llu %14llu %9.1f%%\n", M.App.c_str(),
+                  M.Analysis.c_str(), M.ElapsedSeconds,
+                  static_cast<unsigned long long>(M.SolverWorkItems),
+                  static_cast<unsigned long long>(M.VptTuplesJavaUtil),
+                  100.0 * M.javaUtilShare());
+      if (Kind == AnalysisKind::TwoObjH) {
+        BaseWork = M.SolverWorkItems;
+        BaseJu = M.VptTuplesJavaUtil;
+      } else if (Kind == AnalysisKind::NoTreeNode2ObjH) {
+        NtWork = M.SolverWorkItems;
+      } else {
+        ModWork = M.SolverWorkItems;
+      }
+    }
+    double TotalSaved = static_cast<double>(BaseWork - ModWork);
+    double TreeSaved = static_cast<double>(BaseWork - NtWork);
+    if (TotalSaved > 0)
+      std::printf("%-12s TreeNode elimination alone removes %.0f%% of the "
+                  "work the full rewrite removes\n\n",
+                  A.Name.c_str(), 100.0 * TreeSaved / TotalSaved);
+    (void)BaseJu;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- fig4_completeness.cpp - Reproduces the paper's Figure 4 -------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// Percentage of application concrete methods reachable, per benchmark:
+// the Doop baseline (context-insensitive, basic servlet logic only) versus
+// JackEE (mod-2objH with full framework models). Expected shape (paper
+// Figure 4 + Section 5.1): Doop averages ~14% with near-zero coverage on
+// annotation/XML-driven apps (alfresco, pybbs); JackEE averages ~58%, never
+// below ~43%. The dacapo-like desktop app is the in-text reference point:
+// a plain-main program where the baseline already achieves ~43%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "synth/SynthApp.h"
+
+#include <cstdio>
+
+using namespace jackee;
+using namespace jackee::core;
+
+int main() {
+  std::printf("=== Figure 4: app method reachability, Doop baseline vs "
+              "JackEE ===\n\n");
+  std::printf("%-12s %12s %14s %10s %10s\n", "benchmark", "app-methods",
+              "doop-reach(%)", "jackee(%)", "jackee-abs");
+
+  double DoopSum = 0, JackSum = 0;
+  int Count = 0;
+  for (const Application &App : synth::allBenchmarks()) {
+    Metrics Doop = runAnalysis(App, AnalysisKind::DoopBaselineCI);
+    Metrics Jack = runAnalysis(App, AnalysisKind::Mod2ObjH);
+    std::printf("%-12s %12u %14.2f %10.2f %10u\n", App.Name.c_str(),
+                Jack.AppConcreteMethods, Doop.reachabilityPercent(),
+                Jack.reachabilityPercent(), Jack.AppReachableMethods);
+    DoopSum += Doop.reachabilityPercent();
+    JackSum += Jack.reachabilityPercent();
+    ++Count;
+  }
+  std::printf("%-12s %12s %14.2f %10.2f\n\n", "average", "",
+              DoopSum / Count, JackSum / Count);
+
+  Application Desktop = synth::dacapoLikeApp();
+  Metrics Ref = runAnalysis(Desktop, AnalysisKind::CI);
+  std::printf("reference: %-12s (plain main, ci) reachability %.2f%% "
+              "(paper: Doop achieves ~42.9%% on DaCapo)\n",
+              Desktop.Name.c_str(), Ref.reachabilityPercent());
+  return 0;
+}

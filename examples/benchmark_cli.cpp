@@ -1,0 +1,103 @@
+//===- benchmark_cli.cpp - Command-line analysis driver --------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// A small command-line front end over the pipeline: pick a benchmark and
+// one or more analysis configurations, get the paper's metric row(s).
+//
+//   benchmark_cli                      # list benchmarks and analyses
+//   benchmark_cli webgoat mod-2objH
+//   benchmark_cli alfresco ci 2objH mod-2objH
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "synth/SynthApp.h"
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+using namespace jackee;
+using namespace jackee::core;
+using namespace jackee::synth;
+
+namespace {
+
+struct NamedApp {
+  const char *Name;
+  BenchApp App;
+};
+
+constexpr NamedApp Apps[] = {
+    {"alfresco", BenchApp::Alfresco},   {"bitbucket", BenchApp::Bitbucket},
+    {"dotcms", BenchApp::DotCMS},       {"opencms", BenchApp::OpenCms},
+    {"pybbs", BenchApp::Pybbs},         {"shopizer", BenchApp::Shopizer},
+    {"springblog", BenchApp::SpringBlog}, {"webgoat", BenchApp::WebGoat},
+};
+
+constexpr AnalysisKind AllKinds[] = {
+    AnalysisKind::DoopBaselineCI, AnalysisKind::CI,
+    AnalysisKind::OneObjH,        AnalysisKind::TwoObjH,
+    AnalysisKind::NoTreeNode2ObjH, AnalysisKind::Mod2ObjH,
+};
+
+std::optional<AnalysisKind> parseKind(const char *Text) {
+  for (AnalysisKind Kind : AllKinds)
+    if (std::strcmp(analysisName(Kind), Text) == 0)
+      return Kind;
+  return std::nullopt;
+}
+
+int usage() {
+  std::printf("usage: benchmark_cli <benchmark|dacapo-like> <analysis>...\n\n");
+  std::printf("benchmarks:");
+  for (const NamedApp &A : Apps)
+    std::printf(" %s", A.Name);
+  std::printf(" dacapo-like\nanalyses:  ");
+  for (AnalysisKind Kind : AllKinds)
+    std::printf(" %s", analysisName(Kind));
+  std::printf("\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+
+  std::optional<Application> App;
+  std::string Wanted = Argv[1];
+  for (char &C : Wanted)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  for (const NamedApp &A : Apps)
+    if (Wanted == A.Name)
+      App = applicationFor(A.App);
+  if (Wanted == "dacapo-like")
+    App = dacapoLikeApp();
+  if (!App) {
+    std::printf("error: unknown benchmark '%s'\n\n", Argv[1]);
+    return usage();
+  }
+
+  std::printf("%-12s %-10s %9s %9s %9s %10s %8s %8s %9s\n", "benchmark",
+              "analysis", "reach(%)", "objs/var", "cg-edges", "polyvcall",
+              "mayfail", "ju-share", "time(s)");
+  for (int I = 2; I != Argc; ++I) {
+    std::optional<AnalysisKind> Kind = parseKind(Argv[I]);
+    if (!Kind) {
+      std::printf("error: unknown analysis '%s'\n\n", Argv[I]);
+      return usage();
+    }
+    Metrics M = runAnalysis(*App, *Kind);
+    std::printf("%-12s %-10s %9.2f %9.1f %9llu %10u %8u %7.1f%% %9.3f\n",
+                M.App.c_str(), M.Analysis.c_str(), M.reachabilityPercent(),
+                M.AvgObjsPerVar,
+                static_cast<unsigned long long>(M.CallGraphEdges),
+                M.AppPolyVCalls, M.AppMayFailCasts,
+                100.0 * M.javaUtilShare(), M.ElapsedSeconds);
+  }
+  return 0;
+}

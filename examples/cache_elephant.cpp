@@ -1,0 +1,118 @@
+//===- cache_elephant.cpp - The caches phenomenon in miniature -------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// Section 4 of the paper in one program: a central heterogeneous cache plus
+// a handful of clients is enough to make a 2-object-sensitive analysis
+// spend most of its effort inside java.util — and the sound-modulo-analysis
+// HashMap replacement removes that cost without losing any client-visible
+// flow. This example runs the same client code against both library models
+// and prints the comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <cstdio>
+
+using namespace jackee;
+using namespace jackee::core;
+using namespace jackee::ir;
+
+/// A small cache-centric application: N client classes sharing one static
+/// ConcurrentHashMap through put/get/iterate, JAX-RS entry points.
+static Application cacheApp() {
+  Application App;
+  App.Name = "cache-elephant";
+  App.Populate = [](Program &P, const javalib::JavaLib &L,
+                    const frameworks::FrameworkLib &F) {
+    (void)F;
+    auto appClass = [&](const std::string &Name) {
+      return P.addClass(Name, TypeKind::Class, L.Object, {}, false, true);
+    };
+
+    // The shared cache.
+    TypeId Hub = appClass("cache.Hub");
+    FieldId Global = P.addField(Hub, "GLOBAL", L.Map, /*IsStatic=*/true);
+    MethodBuilder CacheFn =
+        P.addMethod(Hub, "cache", {}, L.Map, /*IsStatic=*/true);
+    {
+      VarId M = CacheFn.local("m", L.Map);
+      VarId Fresh = CacheFn.local("fresh", L.ConcurrentHashMap);
+      CacheFn.staticLoad(M, Global)
+          .ret(M)
+          .alloc(Fresh, L.ConcurrentHashMap)
+          .specialCall(VarId::invalid(), Fresh, L.ConcurrentHashMapInit, {})
+          .staticStore(Global, Fresh)
+          .ret(Fresh);
+    }
+
+    // Clients, each caching its own payload type and reading back others'.
+    for (int I = 0; I != 8; ++I) {
+      TypeId Payload = appClass("cache.Payload" + std::to_string(I));
+      MethodId PayloadInit =
+          P.addMethod(Payload, "<init>", {}, TypeId::invalid()).id();
+
+      TypeId Client = appClass("cache.Client" + std::to_string(I));
+      P.addMethod(Client, "<init>", {}, TypeId::invalid());
+      MethodBuilder Run = P.addMethod(Client, "run", {}, L.Object);
+      P.annotateMethod(Run.id(), "javax.ws.rs.@GET");
+      VarId C = Run.local("c", L.Map);
+      VarId K = Run.local("k", L.String);
+      VarId Pv = Run.local("p", Payload);
+      VarId Got = Run.local("got", L.Object);
+      VarId Es = Run.local("es", L.Set);
+      VarId It = Run.local("it", L.Iterator);
+      VarId En = Run.local("en", L.Object);
+      Run.staticCall(C, CacheFn.id(), {})
+          .stringConst(K, "client" + std::to_string(I))
+          .alloc(Pv, Payload)
+          .specialCall(VarId::invalid(), Pv, PayloadInit, {})
+          .virtualCall(VarId::invalid(), C, "put", {L.Object, L.Object},
+                       {K, Pv})
+          .virtualCall(Got, C, "get", {L.Object}, {K})
+          .virtualCall(Es, C, "entrySet", {}, {})
+          .virtualCall(It, Es, "iterator", {}, {})
+          .virtualCall(En, It, "next", {}, {})
+          .ret(Got);
+      (void)En;
+    }
+    return std::vector<std::pair<std::string, std::string>>{};
+  };
+  return App;
+}
+
+int main() {
+  Application App = cacheApp();
+
+  std::printf("== the cache elephant: one shared map, eight clients ==\n\n");
+  std::printf("%-12s %10s %12s %14s %12s\n", "analysis", "time(s)",
+              "work-items", "j.u. tuples", "j.u. share");
+
+  Metrics Orig = runAnalysis(App, AnalysisKind::TwoObjH);
+  Metrics Mod = runAnalysis(App, AnalysisKind::Mod2ObjH);
+  for (const Metrics *M : {&Orig, &Mod})
+    std::printf("%-12s %10.3f %12llu %14llu %11.1f%%\n", M->Analysis.c_str(),
+                M->ElapsedSeconds,
+                static_cast<unsigned long long>(M->SolverWorkItems),
+                static_cast<unsigned long long>(M->VptTuplesJavaUtil),
+                100.0 * M->javaUtilShare());
+
+  std::printf("\nwork reduction      : %.1fx\n",
+              static_cast<double>(Orig.SolverWorkItems) /
+                  static_cast<double>(Mod.SolverWorkItems));
+  std::printf("j.u. tuple reduction: %.1fx\n",
+              static_cast<double>(Orig.VptTuplesJavaUtil) /
+                  static_cast<double>(Mod.VptTuplesJavaUtil));
+
+  // Soundness-modulo-analysis: client-visible results are unchanged.
+  std::printf("\ncompleteness        : %u vs %u reachable app methods "
+              "(identical: %s)\n",
+              Orig.AppReachableMethods, Mod.AppReachableMethods,
+              Orig.AppReachableMethods == Mod.AppReachableMethods ? "yes"
+                                                                  : "NO");
+  std::printf("precision (app vars): %.2f vs %.2f avg objects "
+              "(replacement never worse)\n",
+              Orig.AvgObjsPerAppVar, Mod.AvgObjsPerAppVar);
+  return 0;
+}

@@ -1,0 +1,164 @@
+//===- petstore_audit.cpp - Auditing an XML-wired web shop -----------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// The scenario the paper's introduction motivates: a security-style audit
+// of an e-commerce application whose wiring lives in XML. Without the
+// framework rules none of this code has entry points; with them, the
+// analysis traces a request parameter from the servlet container through
+// XML-injected beans into the order repository and reports which types can
+// reach the persistence layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "datalog/Database.h"
+#include "frameworks/FrameworkManager.h"
+#include "javalib/JavaLibrary.h"
+#include "pointsto/Solver.h"
+
+#include <cstdio>
+
+using namespace jackee;
+using namespace jackee::ir;
+using namespace jackee::pointsto;
+
+int main() {
+  SymbolTable Symbols;
+  Program P(Symbols);
+  javalib::JavaLib L = javalib::buildJavaLibrary(P, /*SoundModulo=*/true);
+  frameworks::FrameworkLib F = frameworks::buildFrameworkLibrary(P, L);
+
+  // --- The pet store ------------------------------------------------------
+  auto appClass = [&](const char *Name, TypeId Super,
+                      std::vector<TypeId> Ifaces = {}) {
+    return P.addClass(Name, TypeKind::Class, Super, std::move(Ifaces), false,
+                      /*IsApplication=*/true);
+  };
+
+  // Domain.
+  TypeId Order = appClass("shop.Order", L.Object);
+  P.addMethod(Order, "<init>", {}, TypeId::invalid());
+
+  // OrderRepository: a map-backed store.
+  TypeId Repo = appClass("shop.OrderRepository", L.Object);
+  FieldId RepoCache = P.addField(Repo, "cache", L.Map);
+  MethodBuilder RepoInit = P.addMethod(Repo, "<init>", {}, TypeId::invalid());
+  {
+    VarId M = RepoInit.local("m", L.HashMap);
+    RepoInit.alloc(M, L.HashMap)
+        .specialCall(VarId::invalid(), M, L.HashMapInit, {})
+        .store(RepoInit.thisVar(), RepoCache, M);
+  }
+  MethodBuilder Persist =
+      P.addMethod(Repo, "persist", {L.Object}, TypeId::invalid());
+  {
+    VarId C = Persist.local("c", L.Map);
+    Persist.load(C, Persist.thisVar(), RepoCache)
+        .virtualCall(VarId::invalid(), C, "put", {L.Object, L.Object},
+                     {Persist.param(0), Persist.param(0)});
+  }
+
+  // CheckoutService, wired to the repository purely through XML.
+  TypeId Svc = appClass("shop.CheckoutService", L.Object);
+  FieldId SvcRepo = P.addField(Svc, "orders", Repo);
+  P.addMethod(Svc, "<init>", {}, TypeId::invalid());
+  MethodBuilder Checkout =
+      P.addMethod(Svc, "checkout", {L.Object}, TypeId::invalid());
+  {
+    VarId R = Checkout.local("r", Repo);
+    VarId O = Checkout.local("o", Order);
+    Checkout.load(R, Checkout.thisVar(), SvcRepo)
+        .alloc(O, Order)
+        .virtualCall(VarId::invalid(), R, "persist", {L.Object}, {O})
+        // The request-derived parameter also reaches persistence — this is
+        // the kind of flow a taint audit wants to see.
+        .virtualCall(VarId::invalid(), R, "persist", {L.Object},
+                     {Checkout.param(0)});
+  }
+
+  // The front-end servlet, registered in web.xml.
+  TypeId Servlet = appClass("shop.CheckoutServlet", F.HttpServlet);
+  FieldId ServletSvc = P.addField(Servlet, "service", Svc);
+  MethodBuilder DoPost = P.addMethod(
+      Servlet, "doPost", {F.HttpServletRequest, F.HttpServletResponse},
+      TypeId::invalid());
+  {
+    VarId Name = DoPost.local("name", L.String);
+    VarId Param = DoPost.local("param", L.String);
+    VarId S = DoPost.local("s", Svc);
+    DoPost.stringConst(Name, "itemId")
+        .virtualCall(Param, DoPost.param(0), "getParameter", {L.String},
+                     {Name})
+        .load(S, DoPost.thisVar(), ServletSvc)
+        .virtualCall(VarId::invalid(), S, "checkout", {L.Object}, {Param});
+  }
+
+  // --- Configuration (all the wiring!) ------------------------------------
+  const char *BeansXml = R"(
+    <beans>
+      <bean id="orderRepository" class="shop.OrderRepository"/>
+      <bean id="checkoutService" class="shop.CheckoutService">
+        <property name="orders" ref="orderRepository"/>
+      </bean>
+      <bean id="checkoutServlet" class="shop.CheckoutServlet">
+        <property name="service" ref="checkoutService"/>
+      </bean>
+    </beans>)";
+  const char *WebXml = R"(
+    <web-app>
+      <servlet>
+        <servlet-name>checkout</servlet-name>
+        <servlet-class>shop.CheckoutServlet</servlet-class>
+      </servlet>
+    </web-app>)";
+
+  // --- Analysis ------------------------------------------------------------
+  datalog::Database DB(Symbols);
+  frameworks::FrameworkManager FM(P, DB);
+  FM.addDefaultFrameworks();
+  if (std::string E = FM.addConfigXml("beans.xml", BeansXml); !E.empty()) {
+    std::printf("config error: %s\n", E.c_str());
+    return 1;
+  }
+  if (std::string E = FM.addConfigXml("web.xml", WebXml); !E.empty()) {
+    std::printf("config error: %s\n", E.c_str());
+    return 1;
+  }
+  P.finalize();
+  if (std::string E = FM.prepare(); !E.empty()) {
+    std::printf("rule error: %s\n", E.c_str());
+    return 1;
+  }
+
+  Solver S(P, core::solverConfig(core::AnalysisKind::Mod2ObjH));
+  S.addPlugin(&FM);
+  S.solve();
+
+  // --- Audit report --------------------------------------------------------
+  std::printf("== petstore audit (mod-2objH) ==\n\n");
+  std::printf("discovered entry points: %u (beans: %u, injections: %u)\n\n",
+              FM.stats().EntryPointsExercised, FM.stats().BeansCreated,
+              FM.stats().InjectionsApplied);
+
+  auto reach = [&](MethodId M) {
+    std::printf("  %-40s %s\n", P.qualifiedName(M).c_str(),
+                S.isMethodReachable(M) ? "REACHABLE" : "unreachable");
+  };
+  std::printf("persistence path:\n");
+  reach(DoPost.id());
+  reach(Checkout.id());
+  reach(Persist.id());
+
+  std::printf("\ntypes that can reach OrderRepository.persist():\n");
+  for (AllocSiteId Site : S.varPointsToSites(P.method(Persist.id()).Params[0])) {
+    const AllocSite &A = P.allocSite(Site);
+    std::printf("  - %s (%s)\n",
+                Symbols.text(P.type(A.ObjectType).Name).c_str(),
+                Symbols.text(A.Label).c_str());
+  }
+  std::printf("\nThe java.lang.String entry above is the request parameter: "
+              "attacker-controlled\ninput reaches persistence, which is "
+              "exactly what a taint client would flag.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- quickstart.cpp - Minimal end-to-end JackEE-CPP usage ----------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// Builds a three-class Spring application in the IR, runs the full JackEE
+// pipeline (framework rules + mock policy + mod-2objH points-to), and
+// prints what the analysis discovered. Start here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include <cstdio>
+
+using namespace jackee;
+using namespace jackee::core;
+using namespace jackee::ir;
+
+int main() {
+  // An Application is a name plus a callback that adds application classes
+  // to the program (the Java library and framework API types are already
+  // there) and returns XML configuration files.
+  Application App;
+  App.Name = "quickstart";
+  App.Populate = [](Program &P, const javalib::JavaLib &L,
+                    const frameworks::FrameworkLib &F) {
+    (void)F;
+    // @Service class GreetingService { Object greet() { ... } }
+    TypeId Svc =
+        P.addClass("demo.GreetingService", TypeKind::Class, L.Object, {},
+                   /*IsAbstract=*/false, /*IsApplication=*/true);
+    P.annotateType(Svc, "org.springframework.stereotype.@Service");
+    P.addMethod(Svc, "<init>", {}, TypeId::invalid());
+    MethodBuilder Greet = P.addMethod(Svc, "greet", {}, L.Object);
+    {
+      VarId Msg = Greet.local("msg", L.String);
+      Greet.stringConst(Msg, "hello, enterprise world").ret(Msg);
+    }
+
+    // @Controller class HelloController {
+    //   @Autowired GreetingService svc;
+    //   @RequestMapping Object handle() { return svc.greet(); } }
+    TypeId Ctl = P.addClass("demo.HelloController", TypeKind::Class, L.Object,
+                            {}, false, true);
+    P.annotateType(Ctl, "org.springframework.stereotype.@Controller");
+    P.addMethod(Ctl, "<init>", {}, TypeId::invalid());
+    FieldId SvcField = P.addField(Ctl, "svc", Svc);
+    P.annotateField(SvcField,
+                    "org.springframework.beans.factory.annotation.@Autowired");
+    MethodBuilder Handle = P.addMethod(Ctl, "handle", {}, L.Object);
+    P.annotateMethod(
+        Handle.id(), "org.springframework.web.bind.annotation.@RequestMapping");
+    {
+      VarId S = Handle.local("s", Svc);
+      VarId R = Handle.local("r", L.Object);
+      Handle.load(S, Handle.thisVar(), SvcField)
+          .virtualCall(R, S, "greet", {}, {})
+          .ret(R);
+    }
+
+    // A class no framework rule can see: stays unreachable.
+    TypeId Orphan = P.addClass("demo.Orphan", TypeKind::Class, L.Object, {},
+                               false, true);
+    P.addMethod(Orphan, "unused", {}, TypeId::invalid());
+
+    return std::vector<std::pair<std::string, std::string>>{};
+  };
+
+  // Run JackEE's headline configuration: 2-object-sensitive analysis with
+  // the sound-modulo-analysis collection models and all framework rules.
+  Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH);
+
+  std::printf("analysis            : %s\n", M.Analysis.c_str());
+  std::printf("app methods         : %u concrete, %u reachable (%.1f%%)\n",
+              M.AppConcreteMethods, M.AppReachableMethods,
+              M.reachabilityPercent());
+  std::printf("entry points        : %u exercised, %u beans, %u injections\n",
+              M.EntryPointsExercised, M.BeansCreated, M.InjectionsApplied);
+  std::printf("call-graph edges    : %llu\n",
+              static_cast<unsigned long long>(M.CallGraphEdges));
+  std::printf("avg objects per var : %.2f (app vars: %.2f)\n",
+              M.AvgObjsPerVar, M.AvgObjsPerAppVar);
+
+  // Compare with the Doop baseline: no annotation support, no injection.
+  Metrics Doop = runAnalysis(App, AnalysisKind::DoopBaselineCI);
+  std::printf("\nDoop baseline reach : %u of %u app methods (%.1f%%) — the\n"
+              "framework rules are what make the controller analyzable.\n",
+              Doop.AppReachableMethods, Doop.AppConcreteMethods,
+              Doop.reachabilityPercent());
+  return 0;
+}

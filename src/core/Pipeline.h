@@ -1,0 +1,138 @@
+//===- Pipeline.h - End-to-end JackEE analysis driver -----------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level public API: assemble an application (Java library +
+/// framework API + application code + XML configs), pick an analysis
+/// configuration, run it, and collect the paper's metrics.
+///
+/// Analysis configurations (paper Section 5):
+///   - `DoopBaselineCI` — context-insensitive, original collections, basic
+///     servlet logic only: the "Doop" bars of Figure 4.
+///   - `CI`             — context-insensitive with full framework models.
+///   - `OneObjH`        — 1-object-sensitive+heap, full models.
+///   - `TwoObjH`        — 2-object-sensitive+heap, original collections:
+///     the paper's precise-but-expensive configuration.
+///   - `Mod2ObjH`       — 2objH with the sound-modulo-analysis collection
+///     models: JackEE's headline configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_CORE_PIPELINE_H
+#define JACKEE_CORE_PIPELINE_H
+
+#include "frameworks/FrameworkLibrary.h"
+#include "frameworks/FrameworkManager.h"
+#include "javalib/JavaLibrary.h"
+#include "pointsto/Solver.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jackee {
+namespace core {
+
+/// The analysis configurations evaluated in the paper, plus the TreeNode
+/// ablation (the paper singles out TreeNode elimination as the largest
+/// complexity-removal factor of the rewrite; `NoTreeNode2ObjH` measures
+/// that step alone).
+enum class AnalysisKind {
+  DoopBaselineCI,
+  CI,
+  OneObjH,
+  TwoObjH,
+  NoTreeNode2ObjH,
+  Mod2ObjH,
+};
+
+/// Short display name ("ci", "2objH", "mod-2objH", ...).
+const char *analysisName(AnalysisKind Kind);
+/// Solver context configuration for \p Kind.
+pointsto::SolverConfig solverConfig(AnalysisKind Kind);
+/// True if \p Kind uses the sound-modulo-analysis collection models.
+bool usesSoundModuloCollections(AnalysisKind Kind);
+/// The collection model \p Kind analyzes against.
+javalib::CollectionModel collectionModel(AnalysisKind Kind);
+/// True if \p Kind runs only the Doop baseline servlet rules.
+bool usesBaselineRulesOnly(AnalysisKind Kind);
+
+/// An analyzable application: a populate callback plus optional plain-main
+/// entry (for desktop-style programs analyzed without framework magic).
+struct Application {
+  std::string Name;
+
+  /// Adds the application's classes to the program (the Java library and
+  /// framework API types are already present) and returns its XML
+  /// configuration files as (name, text) pairs.
+  std::function<std::vector<std::pair<std::string, std::string>>(
+      ir::Program &, const javalib::JavaLib &, const frameworks::FrameworkLib &)>
+      Populate;
+
+  /// If non-empty, the class whose static `main` is seeded as an entry
+  /// point (desktop-style applications, the paper's DaCapo reference).
+  std::string MainClass;
+};
+
+/// Everything the paper reports per (application, analysis) cell.
+struct Metrics {
+  std::string App;
+  std::string Analysis;
+  double ElapsedSeconds = 0;
+
+  // Figure 4 — completeness.
+  uint32_t AppConcreteMethods = 0;
+  uint32_t AppReachableMethods = 0;
+  double reachabilityPercent() const {
+    return AppConcreteMethods == 0
+               ? 0.0
+               : 100.0 * AppReachableMethods / AppConcreteMethods;
+  }
+
+  // Table 1 — precision.
+  double AvgObjsPerVar = 0;
+  double AvgObjsPerAppVar = 0;
+  uint64_t CallGraphEdges = 0;
+  uint32_t ReachableMethodsTotal = 0;
+  uint32_t AppVirtualCallSites = 0; ///< static count (the "of ~N" column)
+  uint32_t AppPolyVCalls = 0;
+  uint32_t AppCasts = 0;            ///< static count
+  uint32_t AppMayFailCasts = 0;
+
+  // Figure 5 — cost attribution by cumulative context-sensitive
+  // var-points-to inferences (the paper's heuristic).
+  uint64_t VptTuplesTotal = 0;
+  uint64_t VptTuplesJavaUtil = 0;
+  double javaUtilShare() const {
+    return VptTuplesTotal == 0
+               ? 0.0
+               : static_cast<double>(VptTuplesJavaUtil) / VptTuplesTotal;
+  }
+  double javaUtilSeconds() const { return ElapsedSeconds * javaUtilShare(); }
+  double nonJavaUtilSeconds() const {
+    return ElapsedSeconds - javaUtilSeconds();
+  }
+
+  // Framework-layer activity.
+  uint32_t EntryPointsExercised = 0;
+  uint32_t BeansCreated = 0;
+  uint32_t InjectionsApplied = 0;
+
+  // Solver effort (for ablations and sanity checks).
+  uint64_t SolverWorkItems = 0;
+  uint64_t SolverEdges = 0;
+};
+
+/// Runs \p Kind on \p App and collects metrics.
+///
+/// \param MockOptions tuning for the mock policy (ablation benches vary it).
+Metrics runAnalysis(const Application &App, AnalysisKind Kind,
+                    frameworks::MockPolicyOptions MockOptions = {});
+
+} // namespace core
+} // namespace jackee
+
+#endif // JACKEE_CORE_PIPELINE_H

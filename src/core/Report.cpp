@@ -1,0 +1,97 @@
+//===- Report.cpp ---------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+using namespace jackee;
+using namespace jackee::ir;
+using namespace jackee::pointsto;
+
+std::string jackee::core::reachableMethodsReport(const Solver &S) {
+  const Program &P = S.program();
+  std::vector<std::string> Lines;
+  for (MethodId M : S.reachableMethods())
+    Lines.push_back(P.qualifiedName(M));
+  std::sort(Lines.begin(), Lines.end());
+  std::ostringstream Out;
+  for (const std::string &Line : Lines)
+    Out << Line << '\n';
+  return Out.str();
+}
+
+std::string jackee::core::callGraphReport(const Solver &S) {
+  const Program &P = S.program();
+  std::set<std::string> Lines;
+  for (uint64_t Edge : S.callGraphEdges()) {
+    InvokeId Inv(static_cast<uint32_t>(Edge >> 32));
+    MethodId Callee(static_cast<uint32_t>(Edge & 0xffffffffu));
+    Lines.insert(P.qualifiedName(P.invokeSite(Inv).Caller) + " -> " +
+                 P.qualifiedName(Callee));
+  }
+  std::ostringstream Out;
+  for (const std::string &Line : Lines)
+    Out << Line << '\n';
+  return Out.str();
+}
+
+std::string jackee::core::varPointsToReport(const Solver &S) {
+  const Program &P = S.program();
+  const SymbolTable &Symbols = P.symbols();
+  std::vector<std::string> Lines;
+  for (uint32_t VI = 0; VI != P.variableCount(); ++VI) {
+    VarId V(VI);
+    const Variable &Var = P.variable(V);
+    TypeId Declaring = P.method(Var.DeclaringMethod).DeclaringType;
+    if (!P.type(Declaring).IsApplication)
+      continue;
+    std::vector<AllocSiteId> Sites = S.varPointsToSites(V);
+    if (Sites.empty())
+      continue;
+
+    std::vector<std::string> Values;
+    for (AllocSiteId Site : Sites) {
+      const AllocSite &A = P.allocSite(Site);
+      Values.push_back(std::string(Symbols.text(P.type(A.ObjectType).Name)) +
+                       "@" + Symbols.text(A.Label));
+    }
+    std::sort(Values.begin(), Values.end());
+
+    std::string Line = P.qualifiedName(Var.DeclaringMethod) + "/" +
+                       Symbols.text(Var.Name) + " -> {";
+    for (size_t I = 0; I != Values.size(); ++I) {
+      if (I)
+        Line += ", ";
+      Line += Values[I];
+    }
+    Line += "}";
+    Lines.push_back(std::move(Line));
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::ostringstream Out;
+  for (const std::string &Line : Lines)
+    Out << Line << '\n';
+  return Out.str();
+}
+
+std::string jackee::core::summaryReport(const Solver &S) {
+  std::ostringstream Out;
+  Out << "reachable methods (ci-projected): "
+      << S.reachableMethods().size() << '\n'
+      << "reachable (method, ctx) pairs:    "
+      << S.reachableCMethods().size() << '\n'
+      << "call-graph edges:                 " << S.callGraphEdges().size()
+      << '\n'
+      << "abstract objects:                 " << S.valueCount() << '\n'
+      << "var-points-to tuples:             " << S.varPointsToTuplesTotal()
+      << '\n'
+      << "  of which java.util:             "
+      << S.varPointsToTuples("java.util") << '\n';
+  return Out.str();
+}

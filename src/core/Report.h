@@ -1,0 +1,44 @@
+//===- Report.h - Doop-style result dumps -----------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writers that render analysis results as plain text, the way Doop exports
+/// its result relations — for diffing runs, feeding downstream tooling, and
+/// human inspection. All writers produce deterministic, sorted output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_CORE_REPORT_H
+#define JACKEE_CORE_REPORT_H
+
+#include "pointsto/Solver.h"
+
+#include <string>
+
+namespace jackee {
+namespace core {
+
+/// Renders the context-insensitively projected reachable-method list, one
+/// qualified name per line, sorted.
+std::string reachableMethodsReport(const pointsto::Solver &S);
+
+/// Renders the call graph as `caller -> callee` qualified-name pairs
+/// (context-insensitive projection), sorted and deduplicated.
+std::string callGraphReport(const pointsto::Solver &S);
+
+/// Renders the points-to results of every named application variable:
+/// `Class.method/var -> {Type@label, ...}` (sites projected over contexts),
+/// sorted. Variables with empty sets are omitted.
+std::string varPointsToReport(const pointsto::Solver &S);
+
+/// One summary block with the headline counts (reachable methods, edges,
+/// values, contexts) — convenient for logs.
+std::string summaryReport(const pointsto::Solver &S);
+
+} // namespace core
+} // namespace jackee
+
+#endif // JACKEE_CORE_REPORT_H

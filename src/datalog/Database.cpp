@@ -1,0 +1,154 @@
+//===- Database.cpp -------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Database.h"
+
+#include <algorithm>
+
+using namespace jackee;
+using namespace jackee::datalog;
+
+const std::vector<uint32_t> Relation::EmptyPostings;
+
+size_t Relation::TupleHash::operator()(uint32_t Index) const {
+  const Symbol *T = R->tupleOrProbe(Index);
+  size_t Seed = 0x9e3779b9u;
+  for (uint32_t I = 0; I != R->Arity; ++I)
+    Seed = hashCombine(Seed, T[I].rawValue());
+  return Seed;
+}
+
+bool Relation::TupleEq::operator()(uint32_t Lhs, uint32_t Rhs) const {
+  const Symbol *A = R->tupleOrProbe(Lhs);
+  const Symbol *B = R->tupleOrProbe(Rhs);
+  return std::equal(A, A + R->Arity, B);
+}
+
+Relation::Relation(std::string Name, uint32_t Arity)
+    : Name(std::move(Name)), Arity(Arity),
+      Dedup(16, TupleHash{this}, TupleEq{this}) {
+  assert(Arity > 0 && "relations must have at least one column");
+}
+
+bool Relation::insert(std::span<const Symbol> Tuple) {
+  assert(Tuple.size() == Arity && "tuple arity mismatch");
+  Probe = Tuple.data();
+  if (Dedup.find(ProbeIndex) != Dedup.end())
+    return false;
+
+  uint32_t NewIndex = size();
+  Data.insert(Data.end(), Tuple.begin(), Tuple.end());
+  Dedup.insert(NewIndex);
+  for (auto &Idx : Indexes)
+    addToIndex(*Idx, NewIndex);
+  return true;
+}
+
+bool Relation::contains(std::span<const Symbol> Tuple) const {
+  assert(Tuple.size() == Arity && "tuple arity mismatch");
+  // `contains` is logically const; the probe pointer is scratch state.
+  auto *Self = const_cast<Relation *>(this);
+  Self->Probe = Tuple.data();
+  return Dedup.find(ProbeIndex) != Dedup.end();
+}
+
+uint64_t Relation::keyHashFor(const Index &Idx, const Symbol *Tuple) const {
+  size_t Seed = 0xabcdefu;
+  for (uint32_t Col : Idx.Columns)
+    Seed = hashCombine(Seed, Tuple[Col].rawValue());
+  return Seed;
+}
+
+uint64_t Relation::keyHashFor(const Index &,
+                              std::span<const Symbol> Key) const {
+  size_t Seed = 0xabcdefu;
+  for (Symbol S : Key)
+    Seed = hashCombine(Seed, S.rawValue());
+  return Seed;
+}
+
+void Relation::addToIndex(Index &Idx, uint32_t TupleIndex) {
+  Idx.Postings[keyHashFor(Idx, tuple(TupleIndex))].push_back(TupleIndex);
+}
+
+const std::vector<uint32_t> &
+Relation::lookup(std::span<const uint32_t> Columns,
+                 std::span<const Symbol> Key) {
+  assert(!Columns.empty() && Columns.size() == Key.size() &&
+         "column/key shape mismatch");
+  assert(std::is_sorted(Columns.begin(), Columns.end()) &&
+         "columns must be strictly increasing");
+
+  Index *Found = nullptr;
+  for (auto &Idx : Indexes)
+    if (std::equal(Idx->Columns.begin(), Idx->Columns.end(), Columns.begin(),
+                   Columns.end())) {
+      Found = Idx.get();
+      break;
+    }
+  if (!Found) {
+    auto NewIndex = std::make_unique<Index>();
+    NewIndex->Columns.assign(Columns.begin(), Columns.end());
+    Found = NewIndex.get();
+    Indexes.push_back(std::move(NewIndex));
+    for (uint32_t I = 0, E = size(); I != E; ++I)
+      addToIndex(*Found, I);
+  }
+
+  auto It = Found->Postings.find(keyHashFor(*Found, Key));
+  if (It == Found->Postings.end())
+    return EmptyPostings;
+  // Note: postings are keyed by hash only; callers re-verify the bound
+  // columns against each candidate tuple (the evaluator always does).
+  return It->second;
+}
+
+RelationId Database::declare(std::string_view Name, uint32_t Arity) {
+  auto It = ByName.find(std::string(Name));
+  if (It != ByName.end()) {
+    assert(Relations[It->second]->arity() == Arity &&
+           "relation redeclared with a different arity");
+    return RelationId(It->second);
+  }
+  uint32_t Index = static_cast<uint32_t>(Relations.size());
+  Relations.push_back(std::make_unique<Relation>(std::string(Name), Arity));
+  ByName.emplace(std::string(Name), Index);
+  return RelationId(Index);
+}
+
+RelationId Database::find(std::string_view Name) const {
+  auto It = ByName.find(std::string(Name));
+  if (It == ByName.end())
+    return RelationId::invalid();
+  return RelationId(It->second);
+}
+
+bool Database::insertFact(std::string_view Name,
+                          std::initializer_list<std::string_view> Texts) {
+  RelationId Id = find(Name);
+  assert(Id.isValid() && "inserting into an undeclared relation");
+  std::vector<Symbol> Tuple;
+  Tuple.reserve(Texts.size());
+  for (std::string_view Text : Texts)
+    Tuple.push_back(Symbols.intern(Text));
+  return relation(Id).insert(Tuple);
+}
+
+bool Database::containsFact(
+    std::string_view Name, std::initializer_list<std::string_view> Texts) const {
+  RelationId Id = find(Name);
+  if (!Id.isValid())
+    return false;
+  std::vector<Symbol> Tuple;
+  Tuple.reserve(Texts.size());
+  for (std::string_view Text : Texts) {
+    Symbol Sym = Symbols.lookup(Text);
+    if (!Sym.isValid())
+      return false;
+    Tuple.push_back(Sym);
+  }
+  return relation(Id).contains(Tuple);
+}

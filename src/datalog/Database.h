@@ -1,0 +1,159 @@
+//===- Database.h - Datalog relation storage --------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tuple storage for the Datalog engine that evaluates JackEE's framework
+/// models (the paper runs these rules on Soufflé; we evaluate the same rules
+/// on this from-scratch engine). A `Relation` stores fixed-arity tuples of
+/// interned symbols append-only, with O(1) dedup and lazily built column
+/// indexes; append-only storage is what makes semi-naive deltas cheap
+/// (a delta is just an index range).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_DATALOG_DATABASE_H
+#define JACKEE_DATALOG_DATABASE_H
+
+#include "support/Hashing.h"
+#include "support/Id.h"
+#include "support/SymbolTable.h"
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace jackee {
+namespace datalog {
+
+/// Identifies a relation within its owning `Database`.
+using RelationId = Id<struct RelationTag>;
+
+/// A fixed-arity relation of symbol tuples.
+///
+/// Tuples are append-only and deduplicated; each tuple has a dense index, so
+/// `[From, To)` index ranges denote deltas during semi-naive evaluation.
+class Relation {
+public:
+  Relation(std::string Name, uint32_t Arity);
+  Relation(const Relation &) = delete;
+  Relation &operator=(const Relation &) = delete;
+
+  const std::string &name() const { return Name; }
+  uint32_t arity() const { return Arity; }
+
+  /// Number of tuples currently stored.
+  uint32_t size() const {
+    return static_cast<uint32_t>(Data.size() / Arity);
+  }
+
+  /// Inserts \p Tuple (length must equal the arity).
+  /// \returns true if the tuple was new.
+  bool insert(std::span<const Symbol> Tuple);
+
+  /// \returns true if \p Tuple is present.
+  bool contains(std::span<const Symbol> Tuple) const;
+
+  /// The tuple at dense index \p Index (pointer into the flat store; valid
+  /// until the next insertion).
+  const Symbol *tuple(uint32_t Index) const {
+    assert(Index < size() && "tuple index out of range");
+    return &Data[size_t(Index) * Arity];
+  }
+
+  /// Postings-list lookup: all tuple indexes whose columns \p Columns equal
+  /// \p Key, in ascending order. Builds the per-column-set index on first
+  /// use; later insertions keep it current.
+  ///
+  /// \param Columns strictly increasing column positions, non-empty.
+  const std::vector<uint32_t> &lookup(std::span<const uint32_t> Columns,
+                                      std::span<const Symbol> Key);
+
+private:
+  struct Index {
+    std::vector<uint32_t> Columns;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> Postings;
+  };
+
+  uint64_t keyHashFor(const Index &Idx, const Symbol *Tuple) const;
+  uint64_t keyHashFor(const Index &Idx, std::span<const Symbol> Key) const;
+  void addToIndex(Index &Idx, uint32_t TupleIndex);
+
+  // Dedup set over tuple indexes; the sentinel `ProbeIndex` refers to the
+  // candidate tuple in `Probe` so that membership of a not-yet-stored tuple
+  // can be tested without copying it into the store.
+  static constexpr uint32_t ProbeIndex = ~uint32_t(0);
+  struct TupleHash {
+    const Relation *R;
+    size_t operator()(uint32_t Index) const;
+  };
+  struct TupleEq {
+    const Relation *R;
+    bool operator()(uint32_t Lhs, uint32_t Rhs) const;
+  };
+  const Symbol *tupleOrProbe(uint32_t Index) const {
+    return Index == ProbeIndex ? Probe : tuple(Index);
+  }
+
+  std::string Name;
+  uint32_t Arity;
+  std::vector<Symbol> Data;
+  const Symbol *Probe = nullptr;
+  std::unordered_set<uint32_t, TupleHash, TupleEq> Dedup;
+  std::vector<std::unique_ptr<Index>> Indexes;
+
+  // Empty postings list returned for missing keys.
+  static const std::vector<uint32_t> EmptyPostings;
+};
+
+/// A named collection of relations sharing one symbol table.
+///
+/// The symbol table is owned by the caller (it is shared with the IR and the
+/// fact extractor so that e.g. class-name symbols coincide across layers).
+class Database {
+public:
+  explicit Database(SymbolTable &Symbols) : Symbols(Symbols) {}
+  Database(const Database &) = delete;
+  Database &operator=(const Database &) = delete;
+
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// Declares a relation. Redeclaration with the same arity returns the
+  /// existing id; with a different arity it is a programming error.
+  RelationId declare(std::string_view Name, uint32_t Arity);
+
+  /// \returns the id of \p Name, or an invalid id if not declared.
+  RelationId find(std::string_view Name) const;
+
+  Relation &relation(RelationId Id) { return *Relations[Id.index()]; }
+  const Relation &relation(RelationId Id) const {
+    return *Relations[Id.index()];
+  }
+
+  size_t relationCount() const { return Relations.size(); }
+
+  /// Convenience for fact loading and tests: interns \p Texts and inserts
+  /// the tuple into \p Name (which must be declared).
+  bool insertFact(std::string_view Name,
+                  std::initializer_list<std::string_view> Texts);
+
+  /// Convenience: true if \p Name contains the tuple of interned \p Texts.
+  bool containsFact(std::string_view Name,
+                    std::initializer_list<std::string_view> Texts) const;
+
+private:
+  SymbolTable &Symbols;
+  std::vector<std::unique_ptr<Relation>> Relations;
+  std::unordered_map<std::string, uint32_t> ByName;
+};
+
+} // namespace datalog
+} // namespace jackee
+
+#endif // JACKEE_DATALOG_DATABASE_H

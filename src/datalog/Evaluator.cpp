@@ -1,0 +1,333 @@
+//===- Evaluator.cpp ------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Evaluator.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace jackee;
+using namespace jackee::datalog;
+
+namespace {
+
+/// Tarjan's SCC algorithm over the predicate "feeds" graph (edge B -> H for
+/// every rule H :- ..., B, ...). Emits SCCs sinks-first; reversing gives a
+/// valid stratum order (sources, i.e. pure-input predicates, first).
+class SccFinder {
+public:
+  explicit SccFinder(const std::vector<std::vector<uint32_t>> &Successors)
+      : Successors(Successors), State(Successors.size()) {}
+
+  /// \returns the SCC id per node; SCC ids are already in topological order
+  /// (an SCC only depends on lower-numbered SCCs).
+  std::vector<uint32_t> run() {
+    for (uint32_t N = 0; N != Successors.size(); ++N)
+      if (State[N].Index == Unvisited)
+        strongConnect(N);
+    // Tarjan emitted SCCs in reverse topological order; flip the numbering.
+    uint32_t Total = SccCounter;
+    for (auto &Info : State)
+      Info.Scc = Total - 1 - Info.Scc;
+    std::vector<uint32_t> Result(State.size());
+    for (uint32_t N = 0; N != State.size(); ++N)
+      Result[N] = State[N].Scc;
+    SccCount = Total;
+    return Result;
+  }
+
+  uint32_t sccCount() const { return SccCount; }
+
+private:
+  static constexpr uint32_t Unvisited = ~uint32_t(0);
+
+  struct NodeState {
+    uint32_t Index = Unvisited;
+    uint32_t LowLink = 0;
+    uint32_t Scc = 0;
+    bool OnStack = false;
+  };
+
+  // Iterative Tarjan to avoid deep recursion on long rule chains.
+  void strongConnect(uint32_t Root) {
+    struct Frame {
+      uint32_t Node;
+      size_t NextSucc;
+    };
+    std::vector<Frame> CallStack{{Root, 0}};
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      NodeState &NS = State[F.Node];
+      if (F.NextSucc == 0) {
+        NS.Index = NS.LowLink = NextIndex++;
+        NS.OnStack = true;
+        Stack.push_back(F.Node);
+      }
+      bool Descended = false;
+      while (F.NextSucc < Successors[F.Node].size()) {
+        uint32_t Succ = Successors[F.Node][F.NextSucc++];
+        if (State[Succ].Index == Unvisited) {
+          CallStack.push_back({Succ, 0});
+          Descended = true;
+          break;
+        }
+        if (State[Succ].OnStack)
+          NS.LowLink = std::min(NS.LowLink, State[Succ].Index);
+      }
+      if (Descended)
+        continue;
+      if (NS.LowLink == NS.Index) {
+        while (true) {
+          uint32_t Member = Stack.back();
+          Stack.pop_back();
+          State[Member].OnStack = false;
+          State[Member].Scc = SccCounter;
+          if (Member == F.Node)
+            break;
+        }
+        ++SccCounter;
+      }
+      uint32_t Done = F.Node;
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        NodeState &Parent = State[CallStack.back().Node];
+        Parent.LowLink = std::min(Parent.LowLink, State[Done].LowLink);
+      }
+    }
+  }
+
+  const std::vector<std::vector<uint32_t>> &Successors;
+  std::vector<NodeState> State;
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+  uint32_t SccCounter = 0;
+  uint32_t SccCount = 0;
+};
+
+} // namespace
+
+Evaluator::Evaluator(Database &DB, const RuleSet &Rules)
+    : DB(DB), Rules(Rules) {
+  stratify();
+}
+
+void Evaluator::stratify() {
+  uint32_t RelCount = static_cast<uint32_t>(DB.relationCount());
+  std::vector<std::vector<uint32_t>> Feeds(RelCount);
+  for (const Rule &R : Rules.rules())
+    for (const Atom &A : R.Body)
+      Feeds[A.Rel.index()].push_back(R.Head.Rel.index());
+
+  SccFinder Finder(Feeds);
+  std::vector<uint32_t> SccOf = Finder.run();
+  uint32_t SccCount = Finder.sccCount();
+
+  // Negation must not stay inside its own SCC.
+  for (const Rule &R : Rules.rules())
+    for (const Atom &A : R.Body)
+      if (A.Negated && SccOf[A.Rel.index()] == SccOf[R.Head.Rel.index()]) {
+        StratificationError =
+            "unstratifiable negation on relation '" +
+            DB.relation(A.Rel).name() + "' (rule " + R.Origin + ")";
+        return;
+      }
+
+  Strata.assign(SccCount, Stratum());
+  for (uint32_t S = 0; S != SccCount; ++S)
+    Strata[S].IsMember.assign(RelCount, false);
+  for (uint32_t Rel = 0; Rel != RelCount; ++Rel) {
+    Strata[SccOf[Rel]].MemberRels.push_back(Rel);
+    Strata[SccOf[Rel]].IsMember[Rel] = true;
+  }
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Rules.rules().size());
+       I != E; ++I)
+    Strata[SccOf[Rules.rules()[I].Head.Rel.index()]].RuleIndexes.push_back(I);
+
+  // Drop empty strata (relations with no rules form singleton SCCs).
+  std::vector<Stratum> Kept;
+  for (Stratum &S : Strata)
+    if (!S.RuleIndexes.empty())
+      Kept.push_back(std::move(S));
+  Strata = std::move(Kept);
+  EvalStats.StratumCount = static_cast<uint32_t>(Strata.size());
+}
+
+void Evaluator::run() {
+  assert(StratificationError.empty() && "running an unstratifiable program");
+  for (const Stratum &S : Strata)
+    runStratum(S);
+}
+
+void Evaluator::runStratum(const Stratum &S) {
+  uint32_t RelCount = static_cast<uint32_t>(DB.relationCount());
+  std::vector<uint32_t> Limit(RelCount), DeltaBegin(RelCount),
+      DeltaEnd(RelCount);
+
+  auto snapshotSizes = [&](std::vector<uint32_t> &Out) {
+    for (uint32_t Rel = 0; Rel != RelCount; ++Rel)
+      Out[Rel] = DB.relation(RelationId(Rel)).size();
+  };
+
+  // Naive seed round: everything currently present participates.
+  snapshotSizes(Limit);
+  std::vector<uint32_t> SeedStart = Limit;
+  for (uint32_t RuleIdx : S.RuleIndexes) {
+    ++EvalStats.RuleEvaluations;
+    evaluateRule(Rules.rules()[RuleIdx], /*DeltaAtom=*/-1, Limit, DeltaBegin,
+                 DeltaEnd);
+  }
+
+  // Delta rounds.
+  DeltaBegin = SeedStart;
+  snapshotSizes(DeltaEnd);
+  while (true) {
+    bool AnyDelta = false;
+    for (uint32_t Rel : S.MemberRels)
+      if (DeltaBegin[Rel] != DeltaEnd[Rel])
+        AnyDelta = true;
+    if (!AnyDelta)
+      break;
+
+    Limit = DeltaEnd;
+    for (uint32_t RuleIdx : S.RuleIndexes) {
+      const Rule &R = Rules.rules()[RuleIdx];
+      for (int AtomIdx = 0; AtomIdx != static_cast<int>(R.Body.size());
+           ++AtomIdx) {
+        const Atom &A = R.Body[AtomIdx];
+        if (A.Negated || !S.IsMember[A.Rel.index()])
+          continue;
+        if (DeltaBegin[A.Rel.index()] == DeltaEnd[A.Rel.index()])
+          continue;
+        ++EvalStats.RuleEvaluations;
+        evaluateRule(R, AtomIdx, Limit, DeltaBegin, DeltaEnd);
+      }
+    }
+
+    DeltaBegin = DeltaEnd;
+    snapshotSizes(DeltaEnd);
+  }
+}
+
+void Evaluator::evaluateRule(const Rule &R, int DeltaAtom,
+                             const std::vector<uint32_t> &Limit,
+                             const std::vector<uint32_t> &DeltaBegin,
+                             const std::vector<uint32_t> &DeltaEnd) {
+  std::vector<Symbol> Bindings(R.VariableCount);
+  std::vector<bool> Bound(R.VariableCount, false);
+
+  // Order: positive atoms (with the delta atom first, so the usually-small
+  // delta drives the join), then negated atoms, then constraints.
+  std::vector<uint32_t> PositiveOrder;
+  if (DeltaAtom >= 0)
+    PositiveOrder.push_back(static_cast<uint32_t>(DeltaAtom));
+  for (uint32_t I = 0; I != R.Body.size(); ++I)
+    if (!R.Body[I].Negated && static_cast<int>(I) != DeltaAtom)
+      PositiveOrder.push_back(I);
+
+  auto checkConstraintsAndNegation = [&]() -> bool {
+    auto valueOf = [&](const Term &T) {
+      return T.isConstant() ? T.Value : Bindings[T.VarIndex];
+    };
+    for (const Constraint &C : R.Constraints) {
+      bool Equal = valueOf(C.Lhs) == valueOf(C.Rhs);
+      if (C.CompareKind == Constraint::Kind::Equal ? !Equal : Equal)
+        return false;
+    }
+    std::vector<Symbol> Tuple;
+    for (const Atom &A : R.Body) {
+      if (!A.Negated)
+        continue;
+      Tuple.clear();
+      for (const Term &T : A.Terms)
+        Tuple.push_back(valueOf(T));
+      if (DB.relation(A.Rel).contains(Tuple))
+        return false;
+    }
+    return true;
+  };
+
+  auto emitHead = [&]() {
+    std::vector<Symbol> Tuple;
+    Tuple.reserve(R.Head.Terms.size());
+    for (const Term &T : R.Head.Terms)
+      Tuple.push_back(T.isConstant() ? T.Value : Bindings[T.VarIndex]);
+    if (DB.relation(R.Head.Rel).insert(Tuple))
+      ++EvalStats.TuplesDerived;
+  };
+
+  // Recursive nested-loop join over PositiveOrder.
+  std::function<void(size_t)> match = [&](size_t Pos) {
+    if (Pos == PositiveOrder.size()) {
+      if (checkConstraintsAndNegation())
+        emitHead();
+      return;
+    }
+
+    uint32_t AtomIdx = PositiveOrder[Pos];
+    const Atom &A = R.Body[AtomIdx];
+    Relation &Rel = DB.relation(A.Rel);
+    uint32_t RelIdx = A.Rel.index();
+
+    uint32_t From = 0, To = Limit[RelIdx];
+    bool IsDelta = static_cast<int>(AtomIdx) == DeltaAtom;
+    if (IsDelta) {
+      From = DeltaBegin[RelIdx];
+      To = DeltaEnd[RelIdx];
+    }
+
+    // Columns already determined by constants or previously bound variables.
+    std::vector<uint32_t> BoundCols;
+    std::vector<Symbol> BoundKey;
+    for (uint32_t Col = 0; Col != A.Terms.size(); ++Col) {
+      const Term &T = A.Terms[Col];
+      if (T.isConstant()) {
+        BoundCols.push_back(Col);
+        BoundKey.push_back(T.Value);
+      } else if (Bound[T.VarIndex]) {
+        BoundCols.push_back(Col);
+        BoundKey.push_back(Bindings[T.VarIndex]);
+      }
+    }
+
+    // Tries one candidate tuple: verify columns, bind free variables,
+    // recurse, then unbind.
+    auto tryTuple = [&](uint32_t TupleIdx) {
+      const Symbol *Tuple = Rel.tuple(TupleIdx);
+      std::vector<uint32_t> NewlyBound;
+      bool Ok = true;
+      for (uint32_t Col = 0; Col != A.Terms.size() && Ok; ++Col) {
+        const Term &T = A.Terms[Col];
+        if (T.isConstant()) {
+          Ok = Tuple[Col] == T.Value;
+        } else if (Bound[T.VarIndex]) {
+          Ok = Tuple[Col] == Bindings[T.VarIndex];
+        } else {
+          Bindings[T.VarIndex] = Tuple[Col];
+          Bound[T.VarIndex] = true;
+          NewlyBound.push_back(T.VarIndex);
+        }
+      }
+      if (Ok)
+        match(Pos + 1);
+      for (uint32_t Var : NewlyBound)
+        Bound[Var] = false;
+    };
+
+    // Index lookup when useful; deltas are small, so scan those directly.
+    if (!BoundCols.empty() && !IsDelta) {
+      const std::vector<uint32_t> &Postings = Rel.lookup(BoundCols, BoundKey);
+      auto Begin = std::lower_bound(Postings.begin(), Postings.end(), From);
+      auto End = std::lower_bound(Postings.begin(), Postings.end(), To);
+      for (auto It = Begin; It != End; ++It)
+        tryTuple(*It);
+      return;
+    }
+    for (uint32_t TupleIdx = From; TupleIdx < To; ++TupleIdx)
+      tryTuple(TupleIdx);
+  };
+
+  match(0);
+}

@@ -1,0 +1,68 @@
+//===- Rule.cpp -----------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "datalog/Rule.h"
+
+using namespace jackee;
+using namespace jackee::datalog;
+
+std::string RuleSet::add(const Database &DB, Rule R) {
+  auto arityError = [&](const Atom &A) -> std::string {
+    const Relation &Rel = DB.relation(A.Rel);
+    if (A.Terms.size() == Rel.arity())
+      return "";
+    return "atom for '" + Rel.name() + "' has " +
+           std::to_string(A.Terms.size()) + " terms, relation arity is " +
+           std::to_string(Rel.arity());
+  };
+
+  if (std::string Err = arityError(R.Head); !Err.empty())
+    return Err;
+  for (const Atom &A : R.Body)
+    if (std::string Err = arityError(A); !Err.empty())
+      return Err;
+
+  // Collect variables bound by positive body atoms.
+  std::vector<bool> Bound(R.VariableCount, false);
+  for (const Atom &A : R.Body) {
+    if (A.Negated)
+      continue;
+    for (const Term &T : A.Terms)
+      if (T.isVariable())
+        Bound[T.VarIndex] = true;
+  }
+
+  auto checkBound = [&](const Term &T, const char *Where) -> std::string {
+    if (T.isConstant() || Bound[T.VarIndex])
+      return "";
+    return std::string("unsafe rule: variable in ") + Where +
+           " does not occur in any positive body atom";
+  };
+
+  for (const Term &T : R.Head.Terms)
+    if (std::string Err = checkBound(T, "head"); !Err.empty())
+      return Err;
+  for (const Atom &A : R.Body) {
+    if (!A.Negated)
+      continue;
+    for (const Term &T : A.Terms)
+      if (std::string Err = checkBound(T, "negated atom"); !Err.empty())
+        return Err;
+  }
+  for (const Constraint &C : R.Constraints) {
+    if (std::string Err = checkBound(C.Lhs, "constraint"); !Err.empty())
+      return Err;
+    if (std::string Err = checkBound(C.Rhs, "constraint"); !Err.empty())
+      return Err;
+  }
+
+  Rules.push_back(std::move(R));
+  return "";
+}
+
+void RuleSet::append(const RuleSet &Other) {
+  Rules.insert(Rules.end(), Other.Rules.begin(), Other.Rules.end());
+}

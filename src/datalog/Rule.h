@@ -1,0 +1,106 @@
+//===- Rule.h - Datalog rule representation ---------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory representation of Datalog rules: terms (rule-local variables or
+/// interned constants), atoms, disequality constraints, and the `RuleSet`
+/// container that validates rule safety on insertion. Framework models are
+/// normally written in rule text (see Parser.h); this API is what the parser
+/// lowers to and what tests construct directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_DATALOG_RULE_H
+#define JACKEE_DATALOG_RULE_H
+
+#include "datalog/Database.h"
+
+#include <string>
+#include <vector>
+
+namespace jackee {
+namespace datalog {
+
+/// A term in a rule: either a rule-local variable (dense per-rule id) or an
+/// interned constant symbol.
+struct Term {
+  enum class Kind { Variable, Constant };
+
+  Kind TermKind;
+  uint32_t VarIndex = 0; ///< valid when TermKind == Variable
+  Symbol Value;          ///< valid when TermKind == Constant
+
+  static Term variable(uint32_t Index) {
+    Term T;
+    T.TermKind = Kind::Variable;
+    T.VarIndex = Index;
+    return T;
+  }
+  static Term constant(Symbol Value) {
+    Term T;
+    T.TermKind = Kind::Constant;
+    T.Value = Value;
+    return T;
+  }
+
+  bool isVariable() const { return TermKind == Kind::Variable; }
+  bool isConstant() const { return TermKind == Kind::Constant; }
+};
+
+/// A relational atom `R(t1, ..., tn)`, possibly negated in a body.
+struct Atom {
+  RelationId Rel;
+  std::vector<Term> Terms;
+  bool Negated = false;
+};
+
+/// A comparison constraint between two terms (`x != y`, `x = "c"`).
+struct Constraint {
+  enum class Kind { Equal, NotEqual };
+  Kind CompareKind;
+  Term Lhs;
+  Term Rhs;
+};
+
+/// One Datalog rule: `Head :- Body, Constraints.` A rule with an empty body
+/// is a fact. Multi-head source rules are expanded into one `Rule` per head
+/// before reaching this representation.
+struct Rule {
+  Atom Head;
+  std::vector<Atom> Body;
+  std::vector<Constraint> Constraints;
+  uint32_t VariableCount = 0;
+  /// Human-readable provenance (source file/framework name), for
+  /// diagnostics.
+  std::string Origin;
+};
+
+/// A validated collection of rules over one database's relation schema.
+class RuleSet {
+public:
+  /// Adds \p R after checking safety:
+  ///  - arities of all atoms match their relations,
+  ///  - every head variable, negated-atom variable and constraint variable
+  ///    also occurs in some positive body atom (facts may not contain
+  ///    variables at all).
+  /// \returns an empty string on success, else a diagnostic.
+  std::string add(const Database &DB, Rule R);
+
+  const std::vector<Rule> &rules() const { return Rules; }
+  size_t size() const { return Rules.size(); }
+
+  /// Merges all rules of \p Other into this set (they must have been
+  /// validated against the same database schema).
+  void append(const RuleSet &Other);
+
+private:
+  std::vector<Rule> Rules;
+};
+
+} // namespace datalog
+} // namespace jackee
+
+#endif // JACKEE_DATALOG_RULE_H

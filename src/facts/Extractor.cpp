@@ -1,0 +1,243 @@
+//===- Extractor.cpp ------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "facts/Extractor.h"
+
+#include <charconv>
+
+using namespace jackee;
+using namespace jackee::facts;
+using namespace jackee::ir;
+
+void Extractor::declareSchema() {
+  // Type structure.
+  DB.declare("ClassType", 1);
+  DB.declare("InterfaceType", 1);
+  DB.declare("ApplicationClass", 1);
+  DB.declare("ConcreteApplicationClass", 1);
+  DB.declare("SubtypeOf", 2);
+
+  // Annotations (paper Figure 1 inputs).
+  DB.declare("Class_Annotation", 2);
+  DB.declare("Method_Annotation", 2);
+  DB.declare("Field_Annotation", 2);
+
+  // Methods / fields / variables (paper Figure 2).
+  DB.declare("Method_DeclaringType", 2);
+  DB.declare("Method_SimpleName", 2);
+  DB.declare("Method_Descriptor", 2);
+  DB.declare("ConcreteMethod", 1);
+  DB.declare("StaticMethod", 1);
+  DB.declare("Field_DeclaringType", 2);
+  DB.declare("Field_Name", 2);
+  DB.declare("Field_Type", 2);
+  DB.declare("Var_Type", 2);
+  DB.declare("Var_DeclaringMethod", 2);
+  DB.declare("FormalParam", 3);   // (index, method, var)
+
+  // Invocation shape (for getBean-style programmatic patterns).
+  DB.declare("ActualParam", 3);   // (index, invocation, var)
+  DB.declare("AssignReturnValue", 2);
+  DB.declare("VirtualInvocation_SimpleName", 2);
+  DB.declare("VirtualInvocation_Base", 2);
+  DB.declare("Invocation_InMethod", 2);
+
+  // Casts inside methods, for the mock policy's cast-based discovery.
+  DB.declare("CastInMethod", 2);  // (method, targetType)
+
+  // Bean-id convention support (Datalog has no string functions).
+  DB.declare("Class_DefaultBeanId", 2);
+
+  // XML configuration (paper Figure 1 inputs).
+  DB.declare("XMLNode", 5);       // (file, nodeId, parentId, ns, name)
+  DB.declare("XMLNodeAttr", 5);   // (file, nodeId, index, name, value)
+  DB.declare("XMLNodeText", 3);   // (file, nodeId, text)
+}
+
+void Extractor::extractProgram(const Program &P) {
+  const SymbolTable &Symbols = P.symbols();
+  auto typeName = [&](TypeId T) -> const std::string & {
+    return Symbols.text(P.type(T).Name);
+  };
+
+  for (uint32_t TI = 0; TI != P.typeCount(); ++TI) {
+    TypeId T(TI);
+    const Type &Ty = P.type(T);
+    const std::string &Name = typeName(T);
+
+    switch (Ty.Kind) {
+    case TypeKind::Class:
+      fact("ClassType", {Name});
+      break;
+    case TypeKind::Interface:
+      fact("InterfaceType", {Name});
+      break;
+    case TypeKind::Array:
+    case TypeKind::Primitive:
+      break;
+    }
+    if (Ty.IsApplication) {
+      fact("ApplicationClass", {Name});
+      if (Ty.isConcreteClass()) {
+        fact("ConcreteApplicationClass", {Name});
+        fact("Class_DefaultBeanId", {Name, defaultBeanId(Name)});
+      }
+    }
+    for (Symbol Annotation : Ty.Annotations)
+      fact("Class_Annotation", {Name, Symbols.text(Annotation)});
+
+    // Subtype pairs from the finalized hierarchy (strict and reflexive).
+    for (uint32_t SI = 0; SI != P.typeCount(); ++SI)
+      if (P.isSubtype(T, TypeId(SI)))
+        fact("SubtypeOf", {Name, typeName(TypeId(SI))});
+  }
+
+  for (uint32_t FI = 0; FI != P.fieldCount(); ++FI) {
+    FieldId F(FI);
+    const Field &Fld = P.field(F);
+    std::string FSym = encodeField(F);
+    fact("Field_DeclaringType", {FSym, typeName(Fld.DeclaringType)});
+    fact("Field_Name", {FSym, Symbols.text(Fld.Name)});
+    fact("Field_Type", {FSym, typeName(Fld.ValueType)});
+    for (Symbol Annotation : Fld.Annotations)
+      fact("Field_Annotation", {FSym, Symbols.text(Annotation)});
+  }
+
+  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
+    MethodId M(MI);
+    const Method &Meth = P.method(M);
+    std::string MSym = encodeMethod(M);
+    fact("Method_DeclaringType", {MSym, typeName(Meth.DeclaringType)});
+    fact("Method_SimpleName", {MSym, Symbols.text(Meth.Name)});
+    fact("Method_Descriptor", {MSym, Symbols.text(Meth.SignatureKey)});
+    if (!Meth.IsAbstract)
+      fact("ConcreteMethod", {MSym});
+    if (Meth.IsStatic)
+      fact("StaticMethod", {MSym});
+    for (Symbol Annotation : Meth.Annotations)
+      fact("Method_Annotation", {MSym, Symbols.text(Annotation)});
+
+    for (uint32_t I = 0; I != Meth.Params.size(); ++I) {
+      VarId V = Meth.Params[I];
+      fact("FormalParam", {std::to_string(I), MSym, encodeVar(V)});
+    }
+
+    for (const Statement &S : Meth.Statements) {
+      if (S.Op == Opcode::Cast)
+        fact("CastInMethod", {MSym, typeName(S.TypeRef)});
+      if (S.Op != Opcode::VirtualCall && S.Op != Opcode::SpecialCall &&
+          S.Op != Opcode::StaticCall)
+        continue;
+      std::string ISym = encodeInvoke(S.Invoke);
+      fact("Invocation_InMethod", {ISym, MSym});
+      if (S.Dst.isValid())
+        fact("AssignReturnValue", {ISym, encodeVar(S.Dst)});
+      for (uint32_t I = 0; I != S.Args.size(); ++I)
+        if (S.Args[I].isValid())
+          fact("ActualParam", {std::to_string(I), ISym, encodeVar(S.Args[I])});
+      if (S.Op == Opcode::VirtualCall) {
+        const std::string &Sig = Symbols.text(S.CalleeSignature);
+        fact("VirtualInvocation_SimpleName",
+             {ISym, Sig.substr(0, Sig.find('('))});
+        fact("VirtualInvocation_Base", {ISym, encodeVar(S.Base)});
+      }
+    }
+  }
+
+  for (uint32_t VI = 0; VI != P.variableCount(); ++VI) {
+    VarId V(VI);
+    const Variable &Var = P.variable(V);
+    std::string VSym = encodeVar(V);
+    fact("Var_Type", {VSym, typeName(Var.DeclaredType)});
+    fact("Var_DeclaringMethod", {VSym, encodeMethod(Var.DeclaringMethod)});
+  }
+}
+
+void Extractor::extractXml(const xml::Document &Doc,
+                           std::string_view FileName) {
+  for (uint32_t Id = 0; Id != Doc.size(); ++Id) {
+    const xml::Element &E = Doc.element(Id);
+    std::string ParentText = E.Parent == xml::NoParent
+                                 ? std::string("-1")
+                                 : std::to_string(E.Parent);
+    // Split "ns:name" into namespace prefix and local name.
+    std::string Ns, Local = E.Name;
+    if (size_t Colon = E.Name.find(':'); Colon != std::string::npos) {
+      Ns = E.Name.substr(0, Colon);
+      Local = E.Name.substr(Colon + 1);
+    }
+    fact("XMLNode",
+         {FileName, std::to_string(Id), ParentText, Ns, Local});
+    for (uint32_t AI = 0; AI != E.Attributes.size(); ++AI)
+      fact("XMLNodeAttr", {FileName, std::to_string(Id), std::to_string(AI),
+                           E.Attributes[AI].Name, E.Attributes[AI].Value});
+    if (!E.Text.empty())
+      fact("XMLNodeText", {FileName, std::to_string(Id), E.Text});
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entity encoding
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string encodeEntity(char Tag, uint32_t Index) {
+  return std::string(1, Tag) + "#" + std::to_string(Index);
+}
+
+uint32_t decodeEntity(char Tag, std::string_view Text) {
+  if (Text.size() < 3 || Text[0] != Tag || Text[1] != '#')
+    return ~uint32_t(0);
+  uint32_t Value = 0;
+  auto [Ptr, Ec] =
+      std::from_chars(Text.data() + 2, Text.data() + Text.size(), Value);
+  if (Ec != std::errc() || Ptr != Text.data() + Text.size())
+    return ~uint32_t(0);
+  return Value;
+}
+
+} // namespace
+
+std::string Extractor::encodeMethod(MethodId M) {
+  return encodeEntity('M', M.index());
+}
+std::string Extractor::encodeField(FieldId F) {
+  return encodeEntity('F', F.index());
+}
+std::string Extractor::encodeVar(VarId V) {
+  return encodeEntity('V', V.index());
+}
+std::string Extractor::encodeInvoke(InvokeId I) {
+  return encodeEntity('I', I.index());
+}
+
+MethodId Extractor::decodeMethod(std::string_view Text) {
+  uint32_t Index = decodeEntity('M', Text);
+  return Index == ~uint32_t(0) ? MethodId::invalid() : MethodId(Index);
+}
+FieldId Extractor::decodeField(std::string_view Text) {
+  uint32_t Index = decodeEntity('F', Text);
+  return Index == ~uint32_t(0) ? FieldId::invalid() : FieldId(Index);
+}
+VarId Extractor::decodeVar(std::string_view Text) {
+  uint32_t Index = decodeEntity('V', Text);
+  return Index == ~uint32_t(0) ? VarId::invalid() : VarId(Index);
+}
+InvokeId Extractor::decodeInvoke(std::string_view Text) {
+  uint32_t Index = decodeEntity('I', Text);
+  return Index == ~uint32_t(0) ? InvokeId::invalid() : InvokeId(Index);
+}
+
+std::string jackee::facts::defaultBeanId(std::string_view QualifiedName) {
+  size_t Dot = QualifiedName.rfind('.');
+  std::string Simple(Dot == std::string_view::npos
+                         ? QualifiedName
+                         : QualifiedName.substr(Dot + 1));
+  if (!Simple.empty() && Simple[0] >= 'A' && Simple[0] <= 'Z')
+    Simple[0] = static_cast<char>(Simple[0] - 'A' + 'a');
+  return Simple;
+}

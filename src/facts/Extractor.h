@@ -1,0 +1,80 @@
+//===- Extractor.h - IR/XML to Datalog base relations -----------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extracts the base relations that framework models are written against —
+/// the input vocabulary of the paper's Figures 1 and 2: class/method/field
+/// structure, annotations, subtyping, formal/actual parameters, invocation
+/// shape, and XML configuration nodes.
+///
+/// Entity encoding: types are identified by their fully qualified name
+/// symbol (rules match class-name constants like
+/// "javax.servlet.GenericServlet"); methods, fields, variables and
+/// invocation sites get opaque symbols ("M#7", "F#3", "V#42", "I#9") that
+/// round-trip through `encodeX`/`decodeX` so C++ glue (the mock-object
+/// policy, bean plugins) can map rule outputs back to IR entities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_FACTS_EXTRACTOR_H
+#define JACKEE_FACTS_EXTRACTOR_H
+
+#include "datalog/Database.h"
+#include "ir/Program.h"
+#include "xml/Xml.h"
+
+#include <string>
+#include <string_view>
+
+namespace jackee {
+namespace facts {
+
+/// Declares the base-relation schema and fills it from a program and its
+/// configuration files. The database must share the program's symbol table.
+class Extractor {
+public:
+  explicit Extractor(datalog::Database &DB) : DB(DB) { declareSchema(); }
+
+  /// Declares every input relation (idempotent).
+  void declareSchema();
+
+  /// Extracts all program facts. Requires `P.finalize()` to have run.
+  void extractProgram(const ir::Program &P);
+
+  /// Extracts one parsed XML configuration file as XMLNode/XMLNodeAttr/
+  /// XMLNodeText facts. \p FileName becomes the file column.
+  void extractXml(const xml::Document &Doc, std::string_view FileName);
+
+  /// \name Entity encoding
+  /// @{
+  static std::string encodeMethod(ir::MethodId M);
+  static std::string encodeField(ir::FieldId F);
+  static std::string encodeVar(ir::VarId V);
+  static std::string encodeInvoke(ir::InvokeId I);
+  /// Decoders return the invalid id on malformed input.
+  static ir::MethodId decodeMethod(std::string_view Text);
+  static ir::FieldId decodeField(std::string_view Text);
+  static ir::VarId decodeVar(std::string_view Text);
+  static ir::InvokeId decodeInvoke(std::string_view Text);
+  /// @}
+
+private:
+  void fact(std::string_view Relation,
+            std::initializer_list<std::string_view> Tuple) {
+    DB.insertFact(Relation, Tuple);
+  }
+
+  datalog::Database &DB;
+};
+
+/// The default-bean-id convention (Spring): simple class name with the
+/// first letter lowercased, e.g. "com.app.UserService" -> "userService".
+std::string defaultBeanId(std::string_view QualifiedClassName);
+
+} // namespace facts
+} // namespace jackee
+
+#endif // JACKEE_FACTS_EXTRACTOR_H

@@ -1,0 +1,241 @@
+//===- FrameworkLibrary.cpp -----------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frameworks/FrameworkLibrary.h"
+
+using namespace jackee;
+using namespace jackee::ir;
+using namespace jackee::javalib;
+using namespace jackee::frameworks;
+
+FrameworkLib
+jackee::frameworks::buildFrameworkLibrary(Program &P, const JavaLib &L) {
+  FrameworkLib F;
+  TypeId Void = TypeId::invalid();
+  TypeId BoolTy = P.addPrimitive("boolean");
+
+  auto iface = [&](std::string_view Name,
+                   std::vector<TypeId> Supers = {}) {
+    return P.addClass(Name, TypeKind::Interface, L.Object, std::move(Supers),
+                      true, false);
+  };
+  auto libClass = [&](std::string_view Name, TypeId Super,
+                      std::vector<TypeId> Ifaces = {},
+                      bool Abstract = false) {
+    return P.addClass(Name, TypeKind::Class, Super, std::move(Ifaces),
+                      Abstract, false);
+  };
+  auto abstractM = [&](TypeId T, std::string_view Name,
+                       const std::vector<TypeId> &Params, TypeId Ret) {
+    P.addMethod(T, Name, Params, Ret, false, /*IsAbstract=*/true);
+  };
+
+  // --- javax.servlet ------------------------------------------------------
+
+  F.ServletRequest = iface("javax.servlet.ServletRequest");
+  F.ServletResponse = iface("javax.servlet.ServletResponse");
+  F.HttpServletRequest =
+      iface("javax.servlet.http.HttpServletRequest", {F.ServletRequest});
+  F.HttpServletResponse =
+      iface("javax.servlet.http.HttpServletResponse", {F.ServletResponse});
+  abstractM(F.ServletRequest, "getParameter", {L.String}, L.String);
+  abstractM(F.ServletRequest, "getAttribute", {L.String}, L.Object);
+  abstractM(F.ServletRequest, "setAttribute", {L.String, L.Object}, Void);
+
+  F.FilterChain = iface("javax.servlet.FilterChain");
+  abstractM(F.FilterChain, "doFilter", {F.ServletRequest, F.ServletResponse},
+            Void);
+  F.Filter = iface("javax.servlet.Filter");
+  abstractM(F.Filter, "doFilter",
+            {F.ServletRequest, F.ServletResponse, F.FilterChain}, Void);
+
+  F.GenericServlet = libClass("javax.servlet.GenericServlet", L.Object, {},
+                              /*Abstract=*/true);
+  P.addMethod(F.GenericServlet, "<init>", {}, Void);
+  P.addMethod(F.GenericServlet, "init", {}, Void);
+  P.addMethod(F.GenericServlet, "destroy", {}, Void);
+  abstractM(F.GenericServlet, "service",
+            {F.ServletRequest, F.ServletResponse}, Void);
+
+  F.HttpServlet = libClass("javax.servlet.http.HttpServlet",
+                           F.GenericServlet, {}, /*Abstract=*/true);
+  {
+    MethodBuilder Init = P.addMethod(F.HttpServlet, "<init>", {}, Void);
+    (void)Init;
+    // Default do* handlers exist but do nothing; applications override.
+    P.addMethod(F.HttpServlet, "doGet",
+                {F.HttpServletRequest, F.HttpServletResponse}, Void);
+    P.addMethod(F.HttpServlet, "doPost",
+                {F.HttpServletRequest, F.HttpServletResponse}, Void);
+    P.addMethod(F.HttpServlet, "doPut",
+                {F.HttpServletRequest, F.HttpServletResponse}, Void);
+    P.addMethod(F.HttpServlet, "doDelete",
+                {F.HttpServletRequest, F.HttpServletResponse}, Void);
+    // service(req, resp) dispatches to the do* methods.
+    MethodBuilder Service = P.addMethod(
+        F.HttpServlet, "service", {F.ServletRequest, F.ServletResponse},
+        Void);
+    VarId Rq = Service.local("rq", F.HttpServletRequest);
+    VarId Rs = Service.local("rs", F.HttpServletResponse);
+    Service.cast(Rq, F.HttpServletRequest, Service.param(0))
+        .cast(Rs, F.HttpServletResponse, Service.param(1))
+        .virtualCall(VarId::invalid(), Service.thisVar(), "doGet",
+                     {F.HttpServletRequest, F.HttpServletResponse}, {Rq, Rs})
+        .virtualCall(VarId::invalid(), Service.thisVar(), "doPost",
+                     {F.HttpServletRequest, F.HttpServletResponse}, {Rq, Rs})
+        .virtualCall(VarId::invalid(), Service.thisVar(), "doPut",
+                     {F.HttpServletRequest, F.HttpServletResponse}, {Rq, Rs})
+        .virtualCall(VarId::invalid(), Service.thisVar(), "doDelete",
+                     {F.HttpServletRequest, F.HttpServletResponse}, {Rq, Rs});
+  }
+
+  // Concrete container request/response (what the mock policy instantiates
+  // for interface-typed parameters).
+  F.CatalinaRequest =
+      libClass("org.apache.catalina.connector.RequestFacade", L.Object,
+               {F.HttpServletRequest});
+  P.addMethod(F.CatalinaRequest, "<init>", {}, Void);
+  {
+    // getParameter returns a fresh String; getAttribute round-trips an
+    // attributes map so tainted values flow realistically.
+    MethodBuilder MB =
+        P.addMethod(F.CatalinaRequest, "getParameter", {L.String}, L.String);
+    VarId S = MB.local("s", L.String);
+    MB.alloc(S, L.String).ret(S);
+    FieldId Attrs = P.addField(F.CatalinaRequest, "attributes", L.Map);
+    MethodBuilder Set = P.addMethod(F.CatalinaRequest, "setAttribute",
+                                    {L.String, L.Object}, Void);
+    VarId M = Set.local("m", L.Map);
+    Set.load(M, Set.thisVar(), Attrs)
+        .virtualCall(VarId::invalid(), M, "put", {L.Object, L.Object},
+                     {Set.param(0), Set.param(1)});
+    MethodBuilder Get = P.addMethod(F.CatalinaRequest, "getAttribute",
+                                    {L.String}, L.Object);
+    VarId M2 = Get.local("m", L.Map);
+    VarId R = Get.local("r", L.Object);
+    Get.load(M2, Get.thisVar(), Attrs)
+        .virtualCall(R, M2, "get", {L.Object}, {Get.param(0)})
+        .ret(R);
+    // The attributes map itself.
+    MethodBuilder Init2 =
+        P.addMethod(F.CatalinaRequest, "initAttributes", {}, Void);
+    VarId HM = Init2.local("hm", L.HashMap);
+    Init2.alloc(HM, L.HashMap)
+        .specialCall(VarId::invalid(), HM, L.HashMapInit, {})
+        .store(Init2.thisVar(), Attrs, HM);
+  }
+  F.CatalinaResponse =
+      libClass("org.apache.catalina.connector.ResponseFacade", L.Object,
+               {F.HttpServletResponse});
+  P.addMethod(F.CatalinaResponse, "<init>", {}, Void);
+
+  // --- Spring ---------------------------------------------------------------
+
+  F.DispatcherServlet = libClass(
+      "org.springframework.web.servlet.DispatcherServlet", F.HttpServlet);
+  P.addMethod(F.DispatcherServlet, "<init>", {}, Void);
+
+  F.HandlerInterceptor =
+      iface("org.springframework.web.servlet.HandlerInterceptor");
+  abstractM(F.HandlerInterceptor, "preHandle",
+            {F.HttpServletRequest, F.HttpServletResponse, L.Object}, BoolTy);
+  abstractM(F.HandlerInterceptor, "postHandle",
+            {F.HttpServletRequest, F.HttpServletResponse, L.Object}, Void);
+  abstractM(F.HandlerInterceptor, "afterCompletion",
+            {F.HttpServletRequest, F.HttpServletResponse, L.Object}, Void);
+  F.HandlerInterceptorAdapter = libClass(
+      "org.springframework.web.servlet.handler.HandlerInterceptorAdapter",
+      L.Object, {F.HandlerInterceptor}, /*Abstract=*/true);
+
+  F.Authentication = iface("org.springframework.security.core.Authentication");
+  abstractM(F.Authentication, "getPrincipal", {}, L.Object);
+  F.AuthenticationToken = libClass(
+      "org.springframework.security.authentication."
+      "UsernamePasswordAuthenticationToken",
+      L.Object, {F.Authentication});
+  P.addMethod(F.AuthenticationToken, "<init>", {}, Void);
+  {
+    FieldId Principal =
+        P.addField(F.AuthenticationToken, "principal", L.Object);
+    MethodBuilder MB =
+        P.addMethod(F.AuthenticationToken, "getPrincipal", {}, L.Object);
+    VarId V = MB.local("v", L.Object);
+    MB.load(V, MB.thisVar(), Principal).ret(V);
+  }
+  F.AuthenticationManager = iface(
+      "org.springframework.security.authentication.AuthenticationManager");
+  abstractM(F.AuthenticationManager, "authenticate", {F.Authentication},
+            F.Authentication);
+  F.AuthenticationProvider = iface(
+      "org.springframework.security.authentication.AuthenticationProvider");
+  abstractM(F.AuthenticationProvider, "authenticate", {F.Authentication},
+            F.Authentication);
+  F.ProviderManager = libClass(
+      "org.springframework.security.authentication.ProviderManager",
+      L.Object, {F.AuthenticationManager});
+  P.addMethod(F.ProviderManager, "<init>", {}, Void);
+  {
+    // ProviderManager.authenticate delegates to its providers.
+    FieldId Providers =
+        P.addField(F.ProviderManager, "providers", L.List);
+    MethodBuilder MB = P.addMethod(F.ProviderManager, "authenticate",
+                                   {F.Authentication}, F.Authentication);
+    VarId Lst = MB.local("lst", L.List);
+    VarId It = MB.local("it", L.Iterator);
+    VarId Prov = MB.local("prov", L.Object);
+    VarId ProvC = MB.local("provc", F.AuthenticationProvider);
+    VarId R = MB.local("r", F.Authentication);
+    MB.load(Lst, MB.thisVar(), Providers)
+        .virtualCall(It, Lst, "iterator", {}, {})
+        .virtualCall(Prov, It, "next", {}, {})
+        .cast(ProvC, F.AuthenticationProvider, Prov)
+        .virtualCall(R, ProvC, "authenticate", {F.Authentication},
+                     {MB.param(0)})
+        .ret(R);
+  }
+
+  F.BeanFactory = iface("org.springframework.beans.factory.BeanFactory");
+  abstractM(F.BeanFactory, "getBean", {L.String}, L.Object);
+  F.ApplicationContext = iface("org.springframework.context.ApplicationContext",
+                               {F.BeanFactory});
+  F.ClassPathXmlApplicationContext = libClass(
+      "org.springframework.context.support.ClassPathXmlApplicationContext",
+      L.Object, {F.ApplicationContext});
+  P.addMethod(F.ClassPathXmlApplicationContext, "<init>", {}, Void);
+  {
+    // The body is empty: the getBean plugin seeds results (Section 3.5).
+    MethodBuilder MB = P.addMethod(F.ClassPathXmlApplicationContext,
+                                   "getBean", {L.String}, L.Object);
+    F.GetBean = MB.id();
+  }
+
+  // --- Struts 2 -------------------------------------------------------------
+
+  F.StrutsAction = iface("com.opensymphony.xwork2.Action");
+  abstractM(F.StrutsAction, "execute", {}, L.String);
+  F.StrutsActionSupport =
+      libClass("com.opensymphony.xwork2.ActionSupport", L.Object,
+               {F.StrutsAction}, /*Abstract=*/true);
+
+  // --- JMS (message-driven beans) -------------------------------------------
+
+  F.JmsMessage = iface("javax.jms.Message");
+  abstractM(F.JmsMessage, "getBody", {}, L.Object);
+  F.JmsMessageImpl =
+      libClass("org.apache.activemq.command.ActiveMQMessage", L.Object,
+               {F.JmsMessage});
+  P.addMethod(F.JmsMessageImpl, "<init>", {}, Void);
+  {
+    MethodBuilder MB =
+        P.addMethod(F.JmsMessageImpl, "getBody", {}, L.Object);
+    VarId S = MB.local("s", L.String);
+    MB.alloc(S, L.String).ret(S);
+  }
+  F.JmsMessageListener = iface("javax.jms.MessageListener");
+  abstractM(F.JmsMessageListener, "onMessage", {F.JmsMessage}, Void);
+
+  return F;
+}

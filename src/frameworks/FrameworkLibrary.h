@@ -1,0 +1,58 @@
+//===- FrameworkLibrary.h - Enterprise framework API types ------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR models of the enterprise framework API surface that applications
+/// subtype or reference: the Java Servlet API, Spring MVC/Security/Beans,
+/// EJB marker types, Struts 2, and JAX-RS. These are *library* classes; the
+/// framework-modeling rules (Rules.h) match applications against them by
+/// name ("javax.servlet.GenericServlet", …).
+///
+/// Container implementation classes (e.g. the catalina request/response)
+/// are included so the mock policy has concrete types to instantiate for
+/// interface-typed entry-point parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_FRAMEWORKS_FRAMEWORKLIBRARY_H
+#define JACKEE_FRAMEWORKS_FRAMEWORKLIBRARY_H
+
+#include "ir/Program.h"
+#include "javalib/JavaLibrary.h"
+
+namespace jackee {
+namespace frameworks {
+
+/// Ids of framework API types used by C++ glue (rules refer to them by
+/// name).
+struct FrameworkLib {
+  // javax.servlet
+  ir::TypeId ServletRequest, ServletResponse, HttpServletRequest,
+      HttpServletResponse, GenericServlet, HttpServlet, Filter, FilterChain;
+  ir::TypeId CatalinaRequest, CatalinaResponse; ///< concrete container impls
+
+  // Spring
+  ir::TypeId DispatcherServlet, HandlerInterceptor, HandlerInterceptorAdapter;
+  ir::TypeId Authentication, AuthenticationToken, AuthenticationManager,
+      AuthenticationProvider, ProviderManager;
+  ir::TypeId BeanFactory, ApplicationContext, ClassPathXmlApplicationContext;
+  ir::MethodId GetBean; ///< BeanFactory.getBean(String) — modeled by plugin
+
+  // Struts 2
+  ir::TypeId StrutsAction, StrutsActionSupport;
+
+  // JMS (message-driven beans)
+  ir::TypeId JmsMessage, JmsMessageImpl, JmsMessageListener;
+};
+
+/// Builds the framework API types into \p P. Requires the Java library to
+/// have been built first (for Object/String/interfaces).
+FrameworkLib buildFrameworkLibrary(ir::Program &P, const javalib::JavaLib &L);
+
+} // namespace frameworks
+} // namespace jackee
+
+#endif // JACKEE_FRAMEWORKS_FRAMEWORKLIBRARY_H

@@ -1,0 +1,144 @@
+//===- FrameworkManager.h - Rules + analysis coupling -----------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates the framework-modeling layer and couples it to the
+/// points-to solver as a `Plugin` (the paper's recursive framework/analysis
+/// interaction, Section 3.5):
+///
+///   1. base facts are extracted from the IR and XML configs;
+///   2. registered rule sets (vocabulary + per-framework models) are
+///      evaluated to derive EntryPointClass / ExercisedEntryPoint / Bean /
+///      BeanFieldInjection / GetBeanInvocation;
+///   3. C++ glue realizes the consequences inside the solver:
+///      - the framework-independent **mock policy** (Section 3.3):
+///        per-type mock receivers, per-subtype argument mocks with
+///        cast-based discovery, recursive constructor exercising;
+///      - bean objects (`GeneratedObject`) and field injection
+///        (`ObjectFieldPointsTo` seeding);
+///      - programmatic `getBean(name)` resolution against the *current*
+///        points-to results of the name argument — which is why this runs
+///        as a fixpoint plugin rather than a preprocessing step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_FRAMEWORKS_FRAMEWORKMANAGER_H
+#define JACKEE_FRAMEWORKS_FRAMEWORKMANAGER_H
+
+#include "datalog/Database.h"
+#include "datalog/Evaluator.h"
+#include "datalog/Parser.h"
+#include "facts/Extractor.h"
+#include "pointsto/Solver.h"
+#include "xml/Xml.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace jackee {
+namespace frameworks {
+
+/// Tuning knobs for the mock policy.
+struct MockPolicyOptions {
+  /// Cap on distinct mock types per entry-point parameter; keeps the
+  /// analysis scalable when a parameter is declared as a very general type
+  /// (the paper's one-mock-per-type rule serves the same purpose).
+  uint32_t MaxMockTypesPerParam = 32;
+};
+
+/// The framework layer. Lifetime: construct, register rules and configs,
+/// `prepare()`, then install into a solver via `Solver::addPlugin`.
+class FrameworkManager : public pointsto::Plugin {
+public:
+  /// \p P is mutated (synthetic bean/mock objects are added). \p DB must
+  /// share P's symbol table.
+  FrameworkManager(ir::Program &P, datalog::Database &DB,
+                   MockPolicyOptions Options = {});
+
+  /// Registers framework-model rule text. \returns an empty string on
+  /// success, else the parse diagnostic. The vocabulary is pre-registered.
+  std::string addRules(std::string_view Name, std::string_view Text);
+
+  /// Registers all built-in framework models (servlet, Spring, EJB, JAX-RS,
+  /// Struts 2).
+  void addDefaultFrameworks();
+
+  /// Registers only the basic servlet logic — the paper's Doop baseline.
+  void addServletBaselineOnly();
+
+  /// Parses and registers an XML configuration file (Spring beans, web.xml,
+  /// struts.xml). \returns empty string or the parse diagnostic.
+  std::string addConfigXml(std::string_view FileName, std::string_view Text);
+
+  /// Extracts program + XML facts and builds the evaluator. Call after
+  /// `P.finalize()` and after all rules/configs are registered. \returns
+  /// empty string or a stratification diagnostic.
+  std::string prepare();
+
+  /// Plugin hook: evaluates rules against current facts and injects
+  /// consequences. \returns true if anything new was injected.
+  bool onFixpoint(pointsto::Solver &S) override;
+
+  struct Stats {
+    double EvaluatorSeconds = 0;
+    double GlueSeconds = 0;
+    uint32_t EntryPointsExercised = 0;
+    uint32_t MockObjectsCreated = 0;
+    uint32_t BeansCreated = 0;
+    uint32_t InjectionsApplied = 0;
+    uint32_t GetBeanResolutions = 0;
+  };
+  const Stats &stats() const { return FrameworkStats; }
+
+  datalog::Database &database() { return DB; }
+
+private:
+  /// One framework-made abstract object per class (mock receiver == bean
+  /// object, so injected state is visible to entry points).
+  pointsto::ValueId objectForClass(ir::TypeId T, pointsto::Solver &S,
+                                   bool &CreatedNew);
+
+  /// Exercises one entry-point method per the mock policy. \returns true if
+  /// it was new.
+  bool exerciseEntryPoint(ir::MethodId M, pointsto::Solver &S);
+
+  /// Mock candidates for a parameter of declared type \p T in method \p M.
+  std::vector<ir::TypeId> mockCandidates(ir::TypeId T, const ir::Method &M);
+
+  bool processGeneratedObjects(pointsto::Solver &S);
+  bool processInjections(pointsto::Solver &S);
+  bool processMethodInjections(pointsto::Solver &S);
+  bool processEntryPoints(pointsto::Solver &S);
+  bool processGetBean(pointsto::Solver &S);
+
+  ir::Program &P;
+  datalog::Database &DB;
+  MockPolicyOptions Options;
+  datalog::RuleSet Rules;
+  std::unique_ptr<datalog::Evaluator> Eval;
+  facts::Extractor Facts;
+
+  std::vector<std::pair<std::string, xml::Document>> Configs;
+
+  // Progress tracking across plugin rounds.
+  std::unordered_map<uint32_t, pointsto::ValueId> ClassObject; // by TypeId
+  std::unordered_set<uint32_t> ExercisedMethods;               // by MethodId
+  std::unordered_set<uint64_t> AppliedInjections; // (field, beanClass)
+  std::unordered_set<uint64_t> AppliedMethodInjections; // (method, beanClass)
+  std::unordered_set<uint64_t> AppliedGetBeans;   // (invoke, beanClass)
+  std::vector<ir::TypeId> PendingConstructorTypes;
+
+  Stats FrameworkStats;
+  bool Prepared = false;
+};
+
+} // namespace frameworks
+} // namespace jackee
+
+#endif // JACKEE_FRAMEWORKS_FRAMEWORKMANAGER_H

@@ -1,0 +1,301 @@
+//===- Rules.cpp ----------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frameworks/Rules.h"
+
+using namespace jackee::frameworks;
+
+const char *jackee::frameworks::VOCABULARY = R"dl(
+// ---------------------------------------------------------------------------
+// Output concepts (paper Figure 1).
+// ---------------------------------------------------------------------------
+.decl Servlet(c: symbol)
+.decl Controller(c: symbol)
+.decl RESTResource(c: symbol)
+.decl Interceptor(c: symbol)
+.decl Bean(c: symbol)
+.decl Bean_Id(c: symbol, id: symbol)
+.decl BeanFieldInjection(c: symbol, f: symbol, beanClass: symbol)
+.decl BeanMethodInjection(c: symbol, m: symbol, beanClass: symbol)
+.decl GeneratedObjectClass(c: symbol)
+.decl EntryPointClass(c: symbol)
+.decl ExercisedEntryPoint(m: symbol)
+.decl GetBeanInvocation(inv: symbol)
+
+// ---------------------------------------------------------------------------
+// Framework-independent inferences (paper Section 3.3).
+// ---------------------------------------------------------------------------
+
+// Domain concepts induce entry-point classes.
+EntryPointClass(c) :- Servlet(c).
+EntryPointClass(c) :- Controller(c).
+EntryPointClass(c) :- RESTResource(c).
+EntryPointClass(c) :- Interceptor(c).
+
+// Every concrete method declared by an entry-point class is exercised
+// (lifecycle methods, handlers, etc.).
+ExercisedEntryPoint(m) :-
+  EntryPointClass(c),
+  Method_DeclaringType(m, c),
+  ConcreteMethod(m).
+
+// Framework-created objects: beans and entry-point receivers.
+GeneratedObjectClass(c) :- Bean(c).
+GeneratedObjectClass(c) :- EntryPointClass(c), ConcreteApplicationClass(c).
+
+// Default bean-id convention (simple name, lowercased first letter) for
+// every bean; frameworks add explicit ids (XML id=, annotation values).
+Bean_Id(c, id) :- Bean(c), Class_DefaultBeanId(c, id).
+)dl";
+
+const char *jackee::frameworks::FRAMEWORK_SERVLET = R"dl(
+// ---------------------------------------------------------------------------
+// Java Servlet API (paper Section 3.4.1).
+// ---------------------------------------------------------------------------
+
+// Any concrete application subtype of GenericServlet handles requests.
+Servlet(class) :-
+  ConcreteApplicationClass(class),
+  SubtypeOf(class, "javax.servlet.GenericServlet").
+
+// A method of any application class taking a ServletRequest or
+// ServletResponse parameter is an entry point to be exercised.
+ExercisedEntryPoint(method) :-
+  ConcreteApplicationClass(class),
+  Method_DeclaringType(method, class),
+  ConcreteMethod(method),
+  FormalParam(_, method, param),
+  Var_Type(param, paramType),
+  (SubtypeOf(paramType, "javax.servlet.ServletRequest") ;
+   SubtypeOf(paramType, "javax.servlet.ServletResponse")).
+
+// Servlet filters intercept requests.
+EntryPointClass(class),
+Interceptor(class) :-
+  ConcreteApplicationClass(class),
+  SubtypeOf(class, "javax.servlet.Filter").
+
+// web.xml servlet and filter registration:
+//   <servlet><servlet-class>com.app.Foo</servlet-class></servlet>
+Servlet(class) :-
+  XMLNode(f, sn, _, _, "servlet"),
+  XMLNode(f, cn, sn, _, "servlet-class"),
+  XMLNodeText(f, cn, class),
+  ConcreteApplicationClass(class).
+
+Interceptor(class) :-
+  XMLNode(f, sn, _, _, "filter"),
+  XMLNode(f, cn, sn, _, "filter-class"),
+  XMLNodeText(f, cn, class),
+  ConcreteApplicationClass(class).
+
+// web.xml listeners (context/session listeners run at lifecycle events).
+EntryPointClass(class) :-
+  XMLNode(f, sn, _, _, "listener"),
+  XMLNode(f, cn, sn, _, "listener-class"),
+  XMLNodeText(f, cn, class),
+  ConcreteApplicationClass(class).
+)dl";
+
+const char *jackee::frameworks::FRAMEWORK_SPRING = R"dl(
+// ---------------------------------------------------------------------------
+// Spring MVC / Security / Beans (paper Sections 2.3, 3.4.3, 3.5).
+// ---------------------------------------------------------------------------
+
+// @Controller classes are entry points.
+Controller(class),
+EntryPointClass(class) :-
+  ConcreteApplicationClass(class),
+  Class_Annotation(class, "org.springframework.stereotype.@Controller").
+
+// Handler methods by annotation.
+Controller(class),
+ExercisedEntryPoint(method) :-
+  ConcreteApplicationClass(class),
+  Method_DeclaringType(method, class),
+  ConcreteMethod(method),
+  (Method_Annotation(method, "org.springframework.web.bind.annotation.@RequestMapping") ;
+   Method_Annotation(method, "org.springframework.web.bind.annotation.@GetMapping") ;
+   Method_Annotation(method, "org.springframework.web.bind.annotation.@PostMapping") ;
+   Method_Annotation(method, "org.springframework.web.bind.annotation.@DeleteMapping") ;
+   Method_Annotation(method, "org.springframework.web.bind.annotation.@PutMapping")).
+
+// Spring MVC interceptors by subtyping.
+EntryPointClass(class),
+Interceptor(class) :-
+  ConcreteApplicationClass(class),
+  (SubtypeOf(class, "org.springframework.web.servlet.handler.HandlerInterceptorAdapter") ;
+   SubtypeOf(class, "org.springframework.web.servlet.HandlerInterceptor")).
+
+// Spring Security: custom authentication providers registered in XML
+// (paper Section 3.4, verbatim rule modulo relation naming):
+//   <authentication-manager>
+//     <authentication-provider ref="customAuthenticationProvider"/>
+//   </authentication-manager>
+Interceptor(authProvider) :-
+  XMLNode(f, parentId, _, _, "authentication-manager"),
+  XMLNode(f, nodeId, parentId, _, "authentication-provider"),
+  XMLNodeAttr(f, nodeId, _, "ref", providerId),
+  Bean_Id(authProvider, providerId).
+
+// Bean declaration by stereotype annotation.
+Bean(type) :-
+  ConcreteApplicationClass(type),
+  (Class_Annotation(type, "org.springframework.stereotype.@Component") ;
+   Class_Annotation(type, "org.springframework.stereotype.@Service") ;
+   Class_Annotation(type, "org.springframework.stereotype.@Repository") ;
+   Class_Annotation(type, "org.springframework.stereotype.@Controller")).
+
+// Bean declaration in XML: <bean id="x" class="com.app.X"/> — with or
+// without an explicit id.
+Bean(class),
+Bean_Id(class, id) :-
+  XMLNode(f, n, _, _, "bean"),
+  XMLNodeAttr(f, n, _, "id", id),
+  XMLNodeAttr(f, n, _, "class", class),
+  ConcreteApplicationClass(class).
+
+Bean(class) :-
+  XMLNode(f, n, _, _, "bean"),
+  XMLNodeAttr(f, n, _, "class", class),
+  ConcreteApplicationClass(class).
+
+// XML property injection (paper Section 3.5):
+//   <bean class="targetClass"><property name="f" ref="beanId"/></bean>
+BeanFieldInjection(targetClass, targetField, beanClass) :-
+  XMLNode(f, parentId, _, _, "bean"),
+  XMLNodeAttr(f, parentId, _, "class", targetClass),
+  XMLNode(f, nodeId, parentId, _, "property"),
+  XMLNodeAttr(f, nodeId, _, "name", fieldName),
+  XMLNodeAttr(f, nodeId, _, "ref", beanId),
+  Field_DeclaringType(targetField, targetClass),
+  Field_Name(targetField, fieldName),
+  Bean_Id(beanClass, beanId).
+
+// Annotation-driven injection: @Autowired / @Inject wire by assignable
+// type (Spring's byType autowiring; JSR-330 @Inject behaves alike).
+BeanFieldInjection(targetClass, field, beanClass) :-
+  (Field_Annotation(field, "org.springframework.beans.factory.annotation.@Autowired") ;
+   Field_Annotation(field, "javax.inject.@Inject")),
+  Field_DeclaringType(field, targetClass),
+  Field_Type(field, ftype),
+  Bean(beanClass),
+  SubtypeOf(beanClass, ftype).
+
+// Annotation-driven method (setter) injection: the container calls the
+// annotated method with assignable beans as arguments.
+BeanMethodInjection(targetClass, method, beanClass) :-
+  (Method_Annotation(method, "org.springframework.beans.factory.annotation.@Autowired") ;
+   Method_Annotation(method, "javax.inject.@Inject")),
+  Method_DeclaringType(method, targetClass),
+  ConcreteMethod(method),
+  FormalParam(_, method, param),
+  Var_Type(param, ptype),
+  Bean(beanClass),
+  SubtypeOf(beanClass, ptype).
+
+// Programmatic bean lookup: BeanFactory.getBean(String) call sites. The
+// analysis plugin resolves the name argument against Bean_Id using the
+// current VarPointsTo results (recursive coupling, Section 3.5).
+GetBeanInvocation(inv) :-
+  VirtualInvocation_SimpleName(inv, "getBean"),
+  VirtualInvocation_Base(inv, base),
+  Var_Type(base, t),
+  SubtypeOf(t, "org.springframework.beans.factory.BeanFactory").
+)dl";
+
+const char *jackee::frameworks::FRAMEWORK_EJB = R"dl(
+// ---------------------------------------------------------------------------
+// Enterprise Java Beans (paper Section 2.2).
+// ---------------------------------------------------------------------------
+
+// Session beans by annotation.
+Bean(type) :-
+  ConcreteApplicationClass(type),
+  (Class_Annotation(type, "javax.ejb.@Stateless") ;
+   Class_Annotation(type, "javax.ejb.@Stateful") ;
+   Class_Annotation(type, "javax.ejb.@Singleton")).
+
+// Message-driven beans: methods act as entry points (JMS listeners).
+Bean(class),
+EntryPointClass(class) :-
+  ConcreteApplicationClass(class),
+  Class_Annotation(class, "javax.ejb.@MessageDriven").
+
+// @EJB client-side injection, wired by assignable type.
+BeanFieldInjection(targetClass, field, beanClass) :-
+  Field_Annotation(field, "javax.ejb.@EJB"),
+  Field_DeclaringType(field, targetClass),
+  Field_Type(field, ftype),
+  Bean(beanClass),
+  SubtypeOf(beanClass, ftype).
+)dl";
+
+const char *jackee::frameworks::FRAMEWORK_JAXRS = R"dl(
+// ---------------------------------------------------------------------------
+// JAX-RS REST resources (paper Section 3.4.2, nearly verbatim).
+// ---------------------------------------------------------------------------
+EntryPointClass(class),
+RESTResource(class),
+ExercisedEntryPoint(method) :-
+  ConcreteApplicationClass(class),
+  Method_DeclaringType(method, class),
+  ConcreteMethod(method),
+  (Method_Annotation(method, "javax.ws.rs.@POST") ;
+   Method_Annotation(method, "javax.ws.rs.@PUT") ;
+   Method_Annotation(method, "javax.ws.rs.@GET") ;
+   Method_Annotation(method, "javax.ws.rs.@HEAD") ;
+   Method_Annotation(method, "javax.ws.rs.@DELETE")).
+)dl";
+
+const char *jackee::frameworks::FRAMEWORK_STRUTS = R"dl(
+// ---------------------------------------------------------------------------
+// Apache Struts 2 (paper Section 2.4).
+// ---------------------------------------------------------------------------
+
+// Action classes by subtyping.
+EntryPointClass(class) :-
+  ConcreteApplicationClass(class),
+  (SubtypeOf(class, "com.opensymphony.xwork2.Action") ;
+   SubtypeOf(class, "com.opensymphony.xwork2.ActionSupport")).
+
+// execute() is the request handler.
+ExercisedEntryPoint(method) :-
+  ConcreteApplicationClass(class),
+  SubtypeOf(class, "com.opensymphony.xwork2.Action"),
+  Method_DeclaringType(method, class),
+  ConcreteMethod(method),
+  Method_SimpleName(method, "execute").
+
+// @Action-annotated handlers.
+ExercisedEntryPoint(method) :-
+  ConcreteApplicationClass(class),
+  Method_DeclaringType(method, class),
+  ConcreteMethod(method),
+  (Method_Annotation(method, "org.apache.struts2.convention.annotation.@Action") ;
+   Method_Annotation(method, "org.apache.struts2.convention.annotation.@Result")).
+
+// struts.xml action registration: <action class="com.app.FooAction"/>.
+EntryPointClass(class) :-
+  XMLNode(f, n, _, _, "action"),
+  XMLNodeAttr(f, n, _, "class", class),
+  ConcreteApplicationClass(class).
+)dl";
+
+const char *jackee::frameworks::BASELINE_SERVLET = R"dl(
+// ---------------------------------------------------------------------------
+// Doop baseline: only the subtype-based servlet conventions. Annotation- or
+// XML-driven entry points, beans and dependency injection are invisible —
+// this is what yields the near-zero coverage of Figure 4's Doop bars.
+// ---------------------------------------------------------------------------
+Servlet(class) :-
+  ConcreteApplicationClass(class),
+  SubtypeOf(class, "javax.servlet.GenericServlet").
+
+EntryPointClass(class) :-
+  ConcreteApplicationClass(class),
+  SubtypeOf(class, "javax.servlet.Filter").
+)dl";

@@ -1,0 +1,53 @@
+//===- Rules.h - Framework model rule texts ---------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The declarative framework models, as rule text in the engine's
+/// Soufflé-like dialect — the reproduction of the paper's Sections 3.2-3.5.
+/// `VOCABULARY` declares the output concepts of Figure 1 plus the
+/// framework-independent inference rules; each `FRAMEWORK_*` constant is
+/// one framework's model, written against the base relations of
+/// facts::Extractor. New frameworks are added by registering more rule text
+/// (see FrameworkManager::addRules) — the paper's "small per-framework
+/// effort".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_FRAMEWORKS_RULES_H
+#define JACKEE_FRAMEWORKS_RULES_H
+
+namespace jackee {
+namespace frameworks {
+
+/// Output concepts + framework-independent rules (paper Figure 1 / §3.3).
+extern const char *VOCABULARY;
+
+/// Java Servlet API: subtyping conventions + web.xml registration (§3.4.1).
+extern const char *FRAMEWORK_SERVLET;
+
+/// Spring MVC / Security / Beans: annotations, XML beans, interceptors,
+/// authentication providers, dependency injection (§2.3, §3.4.3, §3.5).
+extern const char *FRAMEWORK_SPRING;
+
+/// Enterprise Java Beans: session/message-driven beans, @EJB injection
+/// (§2.2).
+extern const char *FRAMEWORK_EJB;
+
+/// JAX-RS REST resources (§3.4.2).
+extern const char *FRAMEWORK_JAXRS;
+
+/// Apache Struts 2 actions (§2.4).
+extern const char *FRAMEWORK_STRUTS;
+
+/// The comparison baseline: Doop's "basic servlet open-programs logic" —
+/// subtype-based servlet/filter entry points only; no annotations, no XML,
+/// no beans, no injection (paper Section 5.1).
+extern const char *BASELINE_SERVLET;
+
+} // namespace frameworks
+} // namespace jackee
+
+#endif // JACKEE_FRAMEWORKS_RULES_H

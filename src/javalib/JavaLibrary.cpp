@@ -1,0 +1,1690 @@
+//===- JavaLibrary.cpp ----------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Builder for the java.lang/java.util IR models. See JavaLibrary.h for the
+/// two build modes. Bodies are flow-insensitive statement soups: loops are
+/// flattened (every iteration effect appears once) and branches contribute
+/// all their effects — exactly what a Doop-style analysis of real bytecode
+/// would observe.
+///
+//===----------------------------------------------------------------------===//
+
+#include "javalib/JavaLibrary.h"
+
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+
+using namespace jackee;
+using namespace jackee::ir;
+using namespace jackee::javalib;
+
+namespace {
+
+class LibraryBuilder {
+public:
+  LibraryBuilder(Program &P, CollectionModel Model)
+      : P(P), Model(Model) {
+    L.SoundModulo = Model == CollectionModel::SoundModulo;
+  }
+
+  bool treeNodesEnabled() const {
+    return Model == CollectionModel::OriginalJdk8;
+  }
+
+  JavaLib run() {
+    buildLang();
+    buildFunctional();
+    buildUtilInterfaces();
+    buildArrayList();
+    if (L.SoundModulo) {
+      buildSimplifiedHashMapFamily();
+      buildSimplifiedConcurrentHashMap();
+    } else {
+      buildOriginalHashMapFamily();
+      buildOriginalConcurrentHashMap();
+    }
+    buildHashSets();
+    return L;
+  }
+
+private:
+  // --- small helpers ------------------------------------------------------
+
+  TypeId cls(std::string_view Name, TypeId Super,
+             std::vector<TypeId> Ifaces = {}, bool Abstract = false) {
+    return P.addClass(Name, TypeKind::Class, Super, std::move(Ifaces),
+                      Abstract, /*IsApplication=*/false);
+  }
+
+  TypeId iface(std::string_view Name, std::vector<TypeId> Supers = {}) {
+    return P.addClass(Name, TypeKind::Interface, L.Object, std::move(Supers),
+                      /*IsAbstract=*/true, /*IsApplication=*/false);
+  }
+
+  /// Adds a trivial no-op constructor and returns its id.
+  MethodId trivialInit(TypeId T) {
+    return P.addMethod(T, "<init>", {}, TypeId::invalid()).id();
+  }
+
+  /// Declares an abstract method (interface/abstract-class API surface).
+  void abstractMethod(TypeId T, std::string_view Name,
+                      const std::vector<TypeId> &Params, TypeId Ret) {
+    P.addMethod(T, Name, Params, Ret, /*IsStatic=*/false,
+                /*IsAbstract=*/true);
+  }
+
+  /// Appends `tmp = new ExTy; tmp.<init>(); throw tmp` to \p MB — the
+  /// sound-modulo models preserve every exception the original can throw.
+  void allocAndThrow(MethodBuilder &MB, TypeId ExTy, MethodId ExInit,
+                     const char *VarName) {
+    VarId E = MB.local(VarName, ExTy);
+    MB.alloc(E, ExTy)
+        .specialCall(VarId::invalid(), E, ExInit, {})
+        .throwStmt(E);
+  }
+
+  /// Exception class with a trivial constructor; init id remembered.
+  TypeId exceptionClass(std::string_view Name, TypeId Super) {
+    TypeId T = cls(Name, Super);
+    ExceptionInit[T.index()] = trivialInit(T);
+    return T;
+  }
+
+  MethodId exInit(TypeId ExTy) const {
+    auto It = ExceptionInit.find(ExTy.index());
+    assert(It != ExceptionInit.end() && "not an exception class");
+    return It->second;
+  }
+
+  // --- java.lang ----------------------------------------------------------
+
+  void buildLang() {
+    L.Object = cls("java.lang.Object", TypeId::invalid());
+    L.ObjectInit = trivialInit(L.Object);
+    IntTy = P.addPrimitive("int");
+    BoolTy = P.addPrimitive("boolean");
+
+    L.String = cls("java.lang.String", L.Object);
+    StringInit = trivialInit(L.String);
+
+    // Object.toString(): returns a fresh String.
+    {
+      MethodBuilder MB = P.addMethod(L.Object, "toString", {}, L.String);
+      VarId S = MB.local("s", L.String);
+      MB.alloc(S, L.String)
+          .specialCall(VarId::invalid(), S, StringInit, {})
+          .ret(S);
+    }
+    // Object.equals / hashCode: primitive results, no reference flow.
+    P.addMethod(L.Object, "equals", {L.Object}, BoolTy);
+    P.addMethod(L.Object, "hashCode", {}, IntTy);
+
+    L.StringBuilder = cls("java.lang.StringBuilder", L.Object);
+    MethodId SBInit = trivialInit(L.StringBuilder);
+    (void)SBInit;
+    {
+      // append returns `this` (builder chaining).
+      MethodBuilder MB =
+          P.addMethod(L.StringBuilder, "append", {L.Object}, L.StringBuilder);
+      MB.ret(MB.thisVar());
+    }
+    {
+      MethodBuilder MB = P.addMethod(L.StringBuilder, "toString", {}, L.String);
+      VarId S = MB.local("s", L.String);
+      MB.alloc(S, L.String)
+          .specialCall(VarId::invalid(), S, StringInit, {})
+          .ret(S);
+    }
+
+    L.Throwable = exceptionClass("java.lang.Throwable", L.Object);
+    L.Error = exceptionClass("java.lang.Error", L.Throwable);
+    L.Exception = exceptionClass("java.lang.Exception", L.Throwable);
+    L.RuntimeException =
+        exceptionClass("java.lang.RuntimeException", L.Exception);
+    L.NullPointerException =
+        exceptionClass("java.lang.NullPointerException", L.RuntimeException);
+    L.ClassCastException =
+        exceptionClass("java.lang.ClassCastException", L.RuntimeException);
+    L.IllegalStateException =
+        exceptionClass("java.lang.IllegalStateException", L.RuntimeException);
+    L.IllegalArgumentException = exceptionClass(
+        "java.lang.IllegalArgumentException", L.RuntimeException);
+    L.UnsupportedOperationException = exceptionClass(
+        "java.lang.UnsupportedOperationException", L.RuntimeException);
+
+    L.Iterable = iface("java.lang.Iterable");
+  }
+
+  void buildFunctional() {
+    L.Consumer = iface("java.util.function.Consumer");
+    abstractMethod(L.Consumer, "accept", {L.Object}, TypeId::invalid());
+    L.BiConsumer = iface("java.util.function.BiConsumer");
+    abstractMethod(L.BiConsumer, "accept", {L.Object, L.Object},
+                   TypeId::invalid());
+    L.Function = iface("java.util.function.Function");
+    abstractMethod(L.Function, "apply", {L.Object}, L.Object);
+  }
+
+  void buildUtilInterfaces() {
+    L.ConcurrentModificationException = exceptionClass(
+        "java.util.ConcurrentModificationException", L.RuntimeException);
+    L.NoSuchElementException = exceptionClass(
+        "java.util.NoSuchElementException", L.RuntimeException);
+
+    L.Iterator = iface("java.util.Iterator");
+    abstractMethod(L.Iterator, "hasNext", {}, BoolTy);
+    abstractMethod(L.Iterator, "next", {}, L.Object);
+    abstractMethod(L.Iterator, "remove", {}, TypeId::invalid());
+
+    L.Collection = iface("java.util.Collection", {L.Iterable});
+    abstractMethod(L.Collection, "add", {L.Object}, BoolTy);
+    abstractMethod(L.Collection, "iterator", {}, L.Iterator);
+    abstractMethod(L.Collection, "size", {}, IntTy);
+    abstractMethod(L.Collection, "contains", {L.Object}, BoolTy);
+    abstractMethod(L.Collection, "forEach", {L.Consumer}, TypeId::invalid());
+
+    L.List = iface("java.util.List", {L.Collection});
+    abstractMethod(L.List, "get", {IntTy}, L.Object);
+    L.Set = iface("java.util.Set", {L.Collection});
+
+    L.Map = iface("java.util.Map");
+    abstractMethod(L.Map, "put", {L.Object, L.Object}, L.Object);
+    abstractMethod(L.Map, "get", {L.Object}, L.Object);
+    abstractMethod(L.Map, "remove", {L.Object}, L.Object);
+    abstractMethod(L.Map, "containsKey", {L.Object}, BoolTy);
+    abstractMethod(L.Map, "keySet", {}, L.Set);
+    abstractMethod(L.Map, "values", {}, L.Collection);
+    abstractMethod(L.Map, "entrySet", {}, L.Set);
+    abstractMethod(L.Map, "forEach", {L.BiConsumer}, TypeId::invalid());
+    abstractMethod(L.Map, "computeIfAbsent", {L.Object, L.Function},
+                   L.Object);
+
+    L.MapEntry = iface("java.util.Map$Entry");
+    abstractMethod(L.MapEntry, "getKey", {}, L.Object);
+    abstractMethod(L.MapEntry, "getValue", {}, L.Object);
+    abstractMethod(L.MapEntry, "setValue", {L.Object}, L.Object);
+
+    AbstractMap = cls("java.util.AbstractMap", L.Object, {L.Map},
+                      /*Abstract=*/true);
+    AbstractCollection = cls("java.util.AbstractCollection", L.Object,
+                             {L.Collection}, /*Abstract=*/true);
+    AbstractSet =
+        cls("java.util.AbstractSet", AbstractCollection, {L.Set}, true);
+    AbstractList =
+        cls("java.util.AbstractList", AbstractCollection, {L.List}, true);
+  }
+
+  // --- ArrayList (identical in both modes) --------------------------------
+
+  void buildArrayList() {
+    L.ArrayList = cls("java.util.ArrayList", AbstractList, {L.List});
+    TypeId ObjArr = P.addArrayType(L.Object);
+    FieldId ElementData = P.addField(L.ArrayList, "elementData", ObjArr);
+
+    {
+      MethodBuilder MB =
+          P.addMethod(L.ArrayList, "<init>", {}, TypeId::invalid());
+      L.ArrayListInit = MB.id();
+      VarId A = MB.local("a", ObjArr);
+      MB.alloc(A, ObjArr).store(MB.thisVar(), ElementData, A);
+    }
+    {
+      MethodBuilder MB = P.addMethod(L.ArrayList, "add", {L.Object}, BoolTy);
+      VarId A = MB.local("a", ObjArr);
+      MB.load(A, MB.thisVar(), ElementData).arrayStore(A, MB.param(0));
+    }
+    {
+      MethodBuilder MB = P.addMethod(L.ArrayList, "get", {IntTy}, L.Object);
+      VarId A = MB.local("a", ObjArr);
+      VarId T = MB.local("t", L.Object);
+      MB.load(A, MB.thisVar(), ElementData).arrayLoad(T, A).ret(T);
+    }
+    P.addMethod(L.ArrayList, "size", {}, IntTy);
+    P.addMethod(L.ArrayList, "contains", {L.Object}, BoolTy);
+
+    TypeId Itr = cls("java.util.ArrayList$Itr", L.Object, {L.Iterator});
+    FieldId ItrOwner = P.addField(Itr, "this$0", L.ArrayList);
+    MethodId ItrInit = trivialInit(Itr);
+    {
+      MethodBuilder MB =
+          P.addMethod(L.ArrayList, "iterator", {}, L.Iterator);
+      VarId It = MB.local("it", Itr);
+      MB.alloc(It, Itr)
+          .specialCall(VarId::invalid(), It, ItrInit, {})
+          .store(It, ItrOwner, MB.thisVar())
+          .ret(It);
+    }
+    {
+      MethodBuilder MB = P.addMethod(Itr, "next", {}, L.Object);
+      VarId O = MB.local("owner", L.ArrayList);
+      VarId A = MB.local("a", ObjArr);
+      VarId T = MB.local("t", L.Object);
+      MB.load(O, MB.thisVar(), ItrOwner)
+          .load(A, O, ElementData)
+          .arrayLoad(T, A)
+          .ret(T);
+      allocAndThrow(MB, L.NoSuchElementException,
+                    exInit(L.NoSuchElementException), "nse");
+      allocAndThrow(MB, L.ConcurrentModificationException,
+                    exInit(L.ConcurrentModificationException), "cme");
+    }
+    P.addMethod(Itr, "hasNext", {}, BoolTy);
+    P.addMethod(Itr, "remove", {}, TypeId::invalid());
+    {
+      MethodBuilder MB =
+          P.addMethod(L.ArrayList, "forEach", {L.Consumer}, TypeId::invalid());
+      allocAndThrow(MB, L.NullPointerException, exInit(L.NullPointerException),
+                    "npe");
+      VarId A = MB.local("a", ObjArr);
+      VarId E = MB.local("e", L.Object);
+      MB.load(A, MB.thisVar(), ElementData)
+          .arrayLoad(E, A)
+          .virtualCall(VarId::invalid(), MB.param(0), "accept", {L.Object},
+                       {E});
+      allocAndThrow(MB, L.ConcurrentModificationException,
+                    exInit(L.ConcurrentModificationException), "cme");
+    }
+  }
+
+  // --- Map views and iterators (shared generator) --------------------------
+  //
+  // Builds KeySet/Values/EntrySet view classes plus their iterators for a
+  // map class. The `loadEntry` callback emits statements that bind an entry
+  // node (and its key/value) given a variable holding the map; it abstracts
+  // over the original (table array walk) vs simplified (contents field)
+  // representations.
+
+  struct EntryAccess {
+    VarId Entry; ///< variable holding a map entry node
+    VarId Key;
+    VarId Value;
+  };
+  using EntryLoader =
+      std::function<EntryAccess(MethodBuilder &, VarId /*map*/)>;
+
+  void buildMapViews(TypeId MapTy, FieldId KeySetCache, FieldId ValuesCache,
+                     FieldId EntrySetCache, std::string_view Prefix,
+                     const EntryLoader &LoadEntry) {
+    TypeId KeySet = cls(std::string(Prefix) + "$KeySet", AbstractSet);
+    TypeId Values = cls(std::string(Prefix) + "$Values", AbstractCollection);
+    TypeId EntrySet = cls(std::string(Prefix) + "$EntrySet", AbstractSet);
+    FieldId KsOwner = P.addField(KeySet, "this$0", MapTy);
+    FieldId VsOwner = P.addField(Values, "this$0", MapTy);
+    FieldId EsOwner = P.addField(EntrySet, "this$0", MapTy);
+    MethodId KsInit = trivialInit(KeySet);
+    MethodId VsInit = trivialInit(Values);
+    MethodId EsInit = trivialInit(EntrySet);
+
+    TypeId KeyIter = cls(std::string(Prefix) + "$KeyIterator", L.Object,
+                         {L.Iterator});
+    TypeId ValIter = cls(std::string(Prefix) + "$ValueIterator", L.Object,
+                         {L.Iterator});
+    TypeId EntIter = cls(std::string(Prefix) + "$EntryIterator", L.Object,
+                         {L.Iterator});
+    FieldId KiMap = P.addField(KeyIter, "map", MapTy);
+    FieldId ViMap = P.addField(ValIter, "map", MapTy);
+    FieldId EiMap = P.addField(EntIter, "map", MapTy);
+    MethodId KiInit = trivialInit(KeyIter);
+    MethodId ViInit = trivialInit(ValIter);
+    MethodId EiInit = trivialInit(EntIter);
+
+    // Cached view getters: `v = this.cache; v2 = new View(this);
+    // this.cache = v2; return v; return v2;` — both the cached and the
+    // fresh object flow out, as in the JDK.
+    auto viewGetter = [&](std::string_view Name, TypeId Ret, TypeId ViewTy,
+                          FieldId Cache, FieldId Owner, MethodId Init) {
+      MethodBuilder MB = P.addMethod(MapTy, Name, {}, Ret);
+      VarId Cached = MB.local("cached", ViewTy);
+      VarId Fresh = MB.local("fresh", ViewTy);
+      MB.load(Cached, MB.thisVar(), Cache)
+          .ret(Cached)
+          .alloc(Fresh, ViewTy)
+          .specialCall(VarId::invalid(), Fresh, Init, {})
+          .store(Fresh, Owner, MB.thisVar())
+          .store(MB.thisVar(), Cache, Fresh)
+          .ret(Fresh);
+    };
+    viewGetter("keySet", L.Set, KeySet, KeySetCache, KsOwner, KsInit);
+    viewGetter("values", L.Collection, Values, ValuesCache, VsOwner, VsInit);
+    viewGetter("entrySet", L.Set, EntrySet, EntrySetCache, EsOwner, EsInit);
+
+    // View iterator() methods.
+    auto viewIterator = [&](TypeId ViewTy, FieldId Owner, TypeId IterTy,
+                            FieldId IterMap, MethodId IterInit) {
+      MethodBuilder MB = P.addMethod(ViewTy, "iterator", {}, L.Iterator);
+      VarId M = MB.local("m", MapTy);
+      VarId It = MB.local("it", IterTy);
+      MB.load(M, MB.thisVar(), Owner)
+          .alloc(It, IterTy)
+          .specialCall(VarId::invalid(), It, IterInit, {})
+          .store(It, IterMap, M)
+          .ret(It);
+    };
+    viewIterator(KeySet, KsOwner, KeyIter, KiMap, KiInit);
+    viewIterator(Values, VsOwner, ValIter, ViMap, ViInit);
+    viewIterator(EntrySet, EsOwner, EntIter, EiMap, EiInit);
+
+    // Iterator next() methods (plus the exceptions the JDK can throw).
+    auto iterNext = [&](TypeId IterTy, FieldId IterMap,
+                        auto ResultOf /* EntryAccess -> VarId */) {
+      MethodBuilder MB = P.addMethod(IterTy, "next", {}, L.Object);
+      VarId M = MB.local("m", MapTy);
+      MB.load(M, MB.thisVar(), IterMap);
+      EntryAccess EA = LoadEntry(MB, M);
+      MB.ret(ResultOf(EA));
+      allocAndThrow(MB, L.NoSuchElementException,
+                    exInit(L.NoSuchElementException), "nse");
+      allocAndThrow(MB, L.ConcurrentModificationException,
+                    exInit(L.ConcurrentModificationException), "cme");
+      P.addMethod(IterTy, "hasNext", {}, BoolTy);
+      P.addMethod(IterTy, "remove", {}, TypeId::invalid());
+    };
+    iterNext(KeyIter, KiMap, [](const EntryAccess &EA) { return EA.Key; });
+    iterNext(ValIter, ViMap, [](const EntryAccess &EA) { return EA.Value; });
+    iterNext(EntIter, EiMap, [](const EntryAccess &EA) { return EA.Entry; });
+
+    // View forEach(Consumer) — the paper's Figure 3 method.
+    auto viewForEach = [&](TypeId ViewTy, FieldId Owner,
+                           auto ResultOf /* EntryAccess -> VarId */) {
+      MethodBuilder MB =
+          P.addMethod(ViewTy, "forEach", {L.Consumer}, TypeId::invalid());
+      allocAndThrow(MB, L.NullPointerException,
+                    exInit(L.NullPointerException), "npe");
+      VarId M = MB.local("m", MapTy);
+      MB.load(M, MB.thisVar(), Owner);
+      EntryAccess EA = LoadEntry(MB, M);
+      MB.virtualCall(VarId::invalid(), MB.param(0), "accept", {L.Object},
+                     {ResultOf(EA)});
+      allocAndThrow(MB, L.ConcurrentModificationException,
+                    exInit(L.ConcurrentModificationException), "cme");
+    };
+    viewForEach(KeySet, KsOwner, [](const EntryAccess &EA) { return EA.Key; });
+    viewForEach(Values, VsOwner,
+                [](const EntryAccess &EA) { return EA.Value; });
+    viewForEach(EntrySet, EsOwner,
+                [](const EntryAccess &EA) { return EA.Entry; });
+
+    // Map.forEach(BiConsumer).
+    {
+      MethodBuilder MB =
+          P.addMethod(MapTy, "forEach", {L.BiConsumer}, TypeId::invalid());
+      allocAndThrow(MB, L.NullPointerException, exInit(L.NullPointerException),
+                    "npe");
+      EntryAccess EA = LoadEntry(MB, MB.thisVar());
+      MB.virtualCall(VarId::invalid(), MB.param(0), "accept",
+                     {L.Object, L.Object}, {EA.Key, EA.Value});
+      allocAndThrow(MB, L.ConcurrentModificationException,
+                    exInit(L.ConcurrentModificationException), "cme");
+    }
+  }
+
+  /// Builds a Map$Entry node class with key/value/next fields and the
+  /// Entry interface methods.
+  TypeId buildNodeClass(std::string_view Name, TypeId Super,
+                        FieldId &KeyF, FieldId &ValueF, FieldId &NextF,
+                        MethodId &InitM) {
+    TypeId Node = cls(Name, Super, {L.MapEntry});
+    KeyF = P.addField(Node, "key", L.Object);
+    ValueF = P.addField(Node, "value", L.Object);
+    NextF = P.addField(Node, "next", Node);
+    InitM = trivialInit(Node);
+    {
+      MethodBuilder MB = P.addMethod(Node, "getKey", {}, L.Object);
+      VarId K = MB.local("k", L.Object);
+      MB.load(K, MB.thisVar(), KeyF).ret(K);
+    }
+    {
+      MethodBuilder MB = P.addMethod(Node, "getValue", {}, L.Object);
+      VarId V = MB.local("v", L.Object);
+      MB.load(V, MB.thisVar(), ValueF).ret(V);
+    }
+    {
+      MethodBuilder MB = P.addMethod(Node, "setValue", {L.Object}, L.Object);
+      VarId Old = MB.local("old", L.Object);
+      MB.load(Old, MB.thisVar(), ValueF)
+          .store(MB.thisVar(), ValueF, MB.param(0))
+          .ret(Old);
+    }
+    return Node;
+  }
+
+  // --- Original JDK 8 HashMap family ---------------------------------------
+
+  void buildOriginalHashMapFamily();
+  void buildOriginalConcurrentHashMap();
+
+  // --- Sound-modulo-analysis replacements ----------------------------------
+
+  void buildSimplifiedHashMapFamily();
+  void buildSimplifiedConcurrentHashMap();
+  void buildHashSets();
+
+  /// Common simplified-map construction (paper Figure 3 right-hand side).
+  void buildSimplifiedMapCore(TypeId MapTy, std::string_view Prefix,
+                              MethodId &InitOut);
+
+  Program &P;
+  CollectionModel Model;
+  JavaLib L;
+  TypeId IntTy, BoolTy;
+  MethodId StringInit;
+  TypeId AbstractMap, AbstractCollection, AbstractSet, AbstractList;
+  std::unordered_map<uint32_t, MethodId> ExceptionInit;
+};
+
+//===----------------------------------------------------------------------===//
+// Original JDK 8 HashMap / LinkedHashMap
+//===----------------------------------------------------------------------===//
+
+void LibraryBuilder::buildOriginalHashMapFamily() {
+  // Class graph mirrors JDK 8: TreeNode extends LinkedHashMap.Entry extends
+  // HashMap.Node — so TreeNode-based bins shadow every insertion.
+  L.HashMap = cls("java.util.HashMap", AbstractMap, {L.Map});
+  FieldId NodeKey, NodeValue, NodeNext;
+  MethodId NodeInit;
+  TypeId Node = buildNodeClass("java.util.HashMap$Node", L.Object, NodeKey,
+                               NodeValue, NodeNext, NodeInit);
+  TypeId NodeArr = P.addArrayType(Node);
+
+  L.LinkedHashMap = cls("java.util.LinkedHashMap", L.HashMap, {L.Map});
+  TypeId LhmEntry = cls("java.util.LinkedHashMap$Entry", Node, {L.MapEntry});
+  FieldId LhmBefore = P.addField(LhmEntry, "before", LhmEntry);
+  FieldId LhmAfter = P.addField(LhmEntry, "after", LhmEntry);
+  MethodId LhmEntryInit = trivialInit(LhmEntry);
+
+  TypeId TreeNode = cls("java.util.HashMap$TreeNode", LhmEntry, {L.MapEntry});
+  FieldId TnParent = P.addField(TreeNode, "parent", TreeNode);
+  FieldId TnLeft = P.addField(TreeNode, "left", TreeNode);
+  FieldId TnRight = P.addField(TreeNode, "right", TreeNode);
+  FieldId TnPrev = P.addField(TreeNode, "prev", TreeNode);
+  MethodId TreeNodeInit = trivialInit(TreeNode);
+
+  FieldId Table = P.addField(L.HashMap, "table", NodeArr);
+  FieldId KeySetCache = P.addField(L.HashMap, "keySet", L.Set);
+  FieldId ValuesCache = P.addField(L.HashMap, "values", L.Collection);
+  FieldId EntrySetCache = P.addField(L.HashMap, "entrySet", L.Set);
+
+  // HashMap() { table = new Node[...]; }  (the JDK allocates in resize();
+  // statement placement is irrelevant to a flow-insensitive analysis).
+  {
+    MethodBuilder MB = P.addMethod(L.HashMap, "<init>", {}, TypeId::invalid());
+    L.HashMapInit = MB.id();
+    VarId Tab = MB.local("tab", NodeArr);
+    MB.alloc(Tab, NodeArr).store(MB.thisVar(), Table, Tab);
+  }
+
+  // Node newNode(k, v, next) { return new Node(...); }  — overridden by
+  // LinkedHashMap, hence virtual dispatch inside putVal.
+  {
+    MethodBuilder MB = P.addMethod(L.HashMap, "newNode",
+                                   {L.Object, L.Object, Node}, Node);
+    VarId N = MB.local("n", Node);
+    MB.alloc(N, Node)
+        .specialCall(VarId::invalid(), N, NodeInit, {})
+        .store(N, NodeKey, MB.param(0))
+        .store(N, NodeValue, MB.param(1))
+        .store(N, NodeNext, MB.param(2))
+        .ret(N);
+  }
+
+  // TreeNode newTreeNode(k, v) { return new TreeNode(...); }  — the
+  // *internal* allocation whose use as a dispatch receiver erases client
+  // context (paper Section 4).
+  {
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "newTreeNode", {L.Object, L.Object}, TreeNode);
+    VarId T = MB.local("t", TreeNode);
+    MB.alloc(T, TreeNode)
+        .specialCall(VarId::invalid(), T, TreeNodeInit, {})
+        .store(T, NodeKey, MB.param(0))
+        .store(T, NodeValue, MB.param(1))
+        .ret(T);
+  }
+
+  // TreeNode.root(): walk parents.
+  {
+    MethodBuilder MB = P.addMethod(TreeNode, "root", {}, TreeNode);
+    VarId Par = MB.local("p", TreeNode);
+    MB.load(Par, MB.thisVar(), TnParent).ret(Par).ret(MB.thisVar());
+  }
+
+  // TreeNode.find(k): recursive search over left/right.
+  {
+    MethodBuilder MB = P.addMethod(TreeNode, "find", {L.Object}, TreeNode);
+    VarId Lv = MB.local("l", TreeNode);
+    VarId Rv = MB.local("r", TreeNode);
+    VarId FoundL = MB.local("fl", TreeNode);
+    VarId FoundR = MB.local("fr", TreeNode);
+    MB.load(Lv, MB.thisVar(), TnLeft)
+        .load(Rv, MB.thisVar(), TnRight)
+        .virtualCall(FoundL, Lv, "find", {L.Object}, {MB.param(0)})
+        .virtualCall(FoundR, Rv, "find", {L.Object}, {MB.param(0)})
+        .ret(FoundL)
+        .ret(FoundR)
+        .ret(MB.thisVar());
+  }
+
+  // TreeNode.getTreeNode(k) { return root().find(k); }
+  {
+    MethodBuilder MB =
+        P.addMethod(TreeNode, "getTreeNode", {L.Object}, TreeNode);
+    VarId R = MB.local("r", TreeNode);
+    VarId F = MB.local("f", TreeNode);
+    MB.virtualCall(R, MB.thisVar(), "root", {}, {})
+        .virtualCall(F, R, "find", {L.Object}, {MB.param(0)})
+        .ret(F);
+  }
+
+  // Red-black rebalancing machinery (rotateLeft/rotateRight/
+  // balanceInsertion/balanceDeletion): no client-visible behavior at all,
+  // but a dense mesh of parent/left/right reference shuffles among all
+  // TreeNode values — pure analysis cost that the sound-modulo replacement
+  // eliminates wholesale.
+  {
+    MethodBuilder MB = P.addMethod(TreeNode, "rotateLeft",
+                                   {TreeNode, TreeNode}, TreeNode);
+    VarId Root = MB.param(0), Pv = MB.param(1);
+    VarId R = MB.local("r", TreeNode);
+    VarId Rl = MB.local("rl", TreeNode);
+    VarId Pp = MB.local("pp", TreeNode);
+    MB.load(R, Pv, TnRight)
+        .load(Rl, R, TnLeft)
+        .store(Pv, TnRight, Rl)
+        .store(Rl, TnParent, Pv)
+        .load(Pp, Pv, TnParent)
+        .store(R, TnParent, Pp)
+        .store(Pp, TnLeft, R)
+        .store(Pp, TnRight, R)
+        .store(R, TnLeft, Pv)
+        .store(Pv, TnParent, R)
+        .ret(R)
+        .ret(Root);
+  }
+  {
+    MethodBuilder MB = P.addMethod(TreeNode, "rotateRight",
+                                   {TreeNode, TreeNode}, TreeNode);
+    VarId Root = MB.param(0), Pv = MB.param(1);
+    VarId Lv = MB.local("l", TreeNode);
+    VarId Lr = MB.local("lr", TreeNode);
+    VarId Pp = MB.local("pp", TreeNode);
+    MB.load(Lv, Pv, TnLeft)
+        .load(Lr, Lv, TnRight)
+        .store(Pv, TnLeft, Lr)
+        .store(Lr, TnParent, Pv)
+        .load(Pp, Pv, TnParent)
+        .store(Lv, TnParent, Pp)
+        .store(Pp, TnRight, Lv)
+        .store(Pp, TnLeft, Lv)
+        .store(Lv, TnRight, Pv)
+        .store(Pv, TnParent, Lv)
+        .ret(Lv)
+        .ret(Root);
+  }
+  {
+    MethodBuilder MB = P.addMethod(TreeNode, "balanceInsertion",
+                                   {TreeNode, TreeNode}, TreeNode);
+    VarId Root = MB.param(0), X = MB.param(1);
+    VarId Xp = MB.local("xp", TreeNode);
+    VarId Xpp = MB.local("xpp", TreeNode);
+    VarId Xppl = MB.local("xppl", TreeNode);
+    VarId Xppr = MB.local("xppr", TreeNode);
+    VarId R1 = MB.local("r1", TreeNode);
+    VarId R2 = MB.local("r2", TreeNode);
+    MB.load(Xp, X, TnParent)
+        .load(Xpp, Xp, TnParent)
+        .load(Xppl, Xpp, TnLeft)
+        .load(Xppr, Xpp, TnRight)
+        .virtualCall(R1, MB.thisVar(), "rotateLeft", {TreeNode, TreeNode},
+                     {Root, X})
+        .virtualCall(R2, MB.thisVar(), "rotateRight", {TreeNode, TreeNode},
+                     {R1, Xp})
+        .ret(R2)
+        .ret(Root)
+        .ret(X);
+    (void)Xppl;
+    (void)Xppr;
+  }
+  {
+    MethodBuilder MB = P.addMethod(TreeNode, "balanceDeletion",
+                                   {TreeNode, TreeNode}, TreeNode);
+    VarId Root = MB.param(0), X = MB.param(1);
+    VarId Xp = MB.local("xp", TreeNode);
+    VarId Xpl = MB.local("xpl", TreeNode);
+    VarId Xpr = MB.local("xpr", TreeNode);
+    VarId Sl = MB.local("sl", TreeNode);
+    VarId Sr = MB.local("sr", TreeNode);
+    VarId R1 = MB.local("r1", TreeNode);
+    VarId R2 = MB.local("r2", TreeNode);
+    MB.load(Xp, X, TnParent)
+        .load(Xpl, Xp, TnLeft)
+        .load(Xpr, Xp, TnRight)
+        .load(Sl, Xpr, TnLeft)
+        .load(Sr, Xpr, TnRight)
+        .virtualCall(R1, MB.thisVar(), "rotateRight", {TreeNode, TreeNode},
+                     {Root, Xpr})
+        .virtualCall(R2, MB.thisVar(), "rotateLeft", {TreeNode, TreeNode},
+                     {R1, Xp})
+        .ret(R2)
+        .ret(Root)
+        .ret(X);
+    (void)Xpl;
+    (void)Sl;
+    (void)Sr;
+  }
+
+  // TreeNode.putTreeVal(map, tab, k, v) — THE double-dispatch method. Its
+  // receiver is always an internally allocated TreeNode, so under 2objH the
+  // context elements distinguishing the map's *clients* are gone.
+  {
+    MethodBuilder MB = P.addMethod(
+        TreeNode, "putTreeVal", {L.HashMap, NodeArr, L.Object, L.Object},
+        Node);
+    VarId X = MB.local("x", TreeNode);
+    VarId Root = MB.local("root", TreeNode);
+    VarId Q = MB.local("q", TreeNode);
+    MB.virtualCall(X, MB.param(0), "newTreeNode", {L.Object, L.Object},
+                   {MB.param(2), MB.param(3)})
+        .store(MB.thisVar(), TnLeft, X)
+        .store(MB.thisVar(), TnRight, X)
+        .store(X, TnParent, MB.thisVar())
+        .store(X, TnPrev, MB.thisVar())
+        .virtualCall(Root, MB.thisVar(), "root", {}, {})
+        .arrayStore(MB.param(1), Root) // moveRootToFront
+        .virtualCall(Q, MB.thisVar(), "find", {L.Object}, {MB.param(2)})
+        .ret(Q);
+    VarId Bal = MB.local("bal", TreeNode);
+    MB.virtualCall(Bal, MB.thisVar(), "balanceInsertion",
+                   {TreeNode, TreeNode}, {Root, X})
+        .arrayStore(MB.param(1), Bal);
+  }
+
+  // TreeNode.treeify(tab): links this bin's nodes as tree nodes.
+  {
+    MethodBuilder MB =
+        P.addMethod(TreeNode, "treeify", {NodeArr}, TypeId::invalid());
+    VarId Nxt = MB.local("nxt", Node);
+    VarId Tn = MB.local("tn", TreeNode);
+    VarId Bal = MB.local("bal", TreeNode);
+    MB.load(Nxt, MB.thisVar(), NodeNext)
+        .cast(Tn, TreeNode, Nxt)
+        .store(MB.thisVar(), TnLeft, Tn)
+        .store(Tn, TnParent, MB.thisVar())
+        .arrayStore(MB.param(0), MB.thisVar())
+        .virtualCall(Bal, MB.thisVar(), "balanceInsertion",
+                     {TreeNode, TreeNode}, {MB.thisVar(), Tn})
+        .arrayStore(MB.param(0), Bal);
+  }
+
+  // TreeNode.split(map, tab): untreeify path allocates plain nodes again.
+  {
+    MethodBuilder MB = P.addMethod(TreeNode, "split", {L.HashMap, NodeArr},
+                                   TypeId::invalid());
+    VarId K = MB.local("k", L.Object);
+    VarId V = MB.local("v", L.Object);
+    VarId NullNode = MB.local("nil", Node);
+    VarId Plain = MB.local("plain", Node);
+    MB.arrayStore(MB.param(1), MB.thisVar())
+        .load(K, MB.thisVar(), NodeKey)
+        .load(V, MB.thisVar(), NodeValue)
+        .virtualCall(Plain, MB.param(0), "newNode", {L.Object, L.Object, Node},
+                     {K, V, NullNode})
+        .arrayStore(MB.param(1), Plain);
+  }
+
+  // HashMap.treeifyBin(tab): converts a bin, copying key/value into
+  // TreeNodes (replacementTreeNode) — all map data shadows into TreeNodes.
+  {
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "treeifyBin", {NodeArr}, TypeId::invalid());
+    VarId E = MB.local("e", Node);
+    VarId K = MB.local("k", L.Object);
+    VarId V = MB.local("v", L.Object);
+    MB.arrayLoad(E, MB.param(0)).load(K, E, NodeKey).load(V, E, NodeValue);
+    if (treeNodesEnabled()) {
+      VarId Hd = MB.local("hd", TreeNode);
+      MB.virtualCall(Hd, MB.thisVar(), "newTreeNode", {L.Object, L.Object},
+                     {K, V})
+          .arrayStore(MB.param(0), Hd)
+          .virtualCall(VarId::invalid(), Hd, "treeify", {NodeArr},
+                       {MB.param(0)});
+    }
+  }
+
+  // HashMap.resize(): fresh table, nodes carried over, trees split.
+  {
+    MethodBuilder MB = P.addMethod(L.HashMap, "resize", {}, NodeArr);
+    VarId OldTab = MB.local("oldTab", NodeArr);
+    VarId NewTab = MB.local("newTab", NodeArr);
+    VarId E = MB.local("e", Node);
+    VarId Te = MB.local("te", TreeNode);
+    VarId LoHead = MB.local("loHead", Node);
+    VarId LoTail = MB.local("loTail", Node);
+    VarId HiHead = MB.local("hiHead", Node);
+    VarId HiTail = MB.local("hiTail", Node);
+    VarId NextE = MB.local("nextE", Node);
+    MB.load(OldTab, MB.thisVar(), Table)
+        .alloc(NewTab, NodeArr)
+        .store(MB.thisVar(), Table, NewTab)
+        .arrayLoad(E, OldTab)
+        .arrayStore(NewTab, E);
+    if (treeNodesEnabled())
+      MB.cast(Te, TreeNode, E)
+          .virtualCall(VarId::invalid(), Te, "split", {L.HashMap, NodeArr},
+                       {MB.thisVar(), NewTab});
+    MB
+        // The JDK's lo/hi chain split: nodes rethread through four chain
+        // cursors before landing in the new table.
+        .load(NextE, E, NodeNext)
+        .move(LoHead, E)
+        .move(LoTail, E)
+        .store(LoTail, NodeNext, NextE)
+        .move(HiHead, NextE)
+        .move(HiTail, NextE)
+        .store(HiTail, NodeNext, E)
+        .arrayStore(NewTab, LoHead)
+        .arrayStore(NewTab, HiHead)
+        .ret(NewTab);
+  }
+
+  // HashMap.removeNode: the JDK's workhorse for remove/eviction — a dense
+  // walk with many node-typed locals (matchs the real method's shape).
+  {
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "removeNode", {L.Object}, Node);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId Pv = MB.local("p", Node);
+    VarId NodeV = MB.local("node", Node);
+    VarId E = MB.local("e", Node);
+    VarId Tp = MB.local("tp", TreeNode);
+    VarId Tn = MB.local("tn", TreeNode);
+    VarId Nxt = MB.local("nxt", Node);
+    MB.load(Tab, MB.thisVar(), Table).arrayLoad(Pv, Tab);
+    if (treeNodesEnabled())
+      MB.cast(Tp, TreeNode, Pv)
+          .virtualCall(Tn, Tp, "getTreeNode", {L.Object}, {MB.param(0)})
+          .move(NodeV, Tn)
+          .virtualCall(VarId::invalid(), Tp, "removeTreeNode",
+                       {L.HashMap, NodeArr}, {MB.thisVar(), Tab});
+    MB.load(E, Pv, NodeNext)
+        .move(NodeV, E)
+        .move(NodeV, Pv)
+        .load(Nxt, NodeV, NodeNext)
+        .arrayStore(Tab, Nxt)
+        .ret(NodeV);
+  }
+
+  // HashMap.putVal(k, v): both the list path (newNode into table) and the
+  // tree path (cast + putTreeVal double dispatch), plus value overwrite of
+  // an existing mapping; all returns flow out.
+  {
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "putVal", {L.Object, L.Object}, L.Object);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId Pv = MB.local("p", Node);
+    VarId Tp = MB.local("tp", TreeNode);
+    VarId E1 = MB.local("e1", Node);
+    VarId Old1 = MB.local("old1", L.Object);
+    VarId N = MB.local("n", Node);
+    VarId Old = MB.local("old", L.Object);
+    MB.load(Tab, MB.thisVar(), Table).arrayLoad(Pv, Tab);
+    if (treeNodesEnabled())
+      MB.cast(Tp, TreeNode, Pv)
+          .virtualCall(E1, Tp, "putTreeVal",
+                       {L.HashMap, NodeArr, L.Object, L.Object},
+                       {MB.thisVar(), Tab, MB.param(0), MB.param(1)})
+          .store(E1, NodeValue, MB.param(1))
+          .load(Old1, E1, NodeValue)
+          .ret(Old1);
+    // List path.
+    MB.virtualCall(N, MB.thisVar(), "newNode", {L.Object, L.Object, Node},
+                     {MB.param(0), MB.param(1), Pv})
+        .arrayStore(Tab, N)
+        .virtualCall(VarId::invalid(), MB.thisVar(), "treeifyBin", {NodeArr},
+                     {Tab})
+        .virtualCall(VarId::invalid(), MB.thisVar(), "resize", {}, {})
+        // Existing-mapping overwrite.
+        .store(Pv, NodeValue, MB.param(1))
+        .load(Old, Pv, NodeValue)
+        .ret(Old);
+    // The JDK's extra walk locals and the afterNodeInsertion eviction hook.
+    VarId K2 = MB.local("k2", L.Object);
+    VarId E2 = MB.local("e2", Node);
+    VarId E3 = MB.local("e3", Node);
+    VarId Evicted = MB.local("evicted", Node);
+    VarId EvV = MB.local("evv", L.Object);
+    MB.load(K2, Pv, NodeKey)
+        .load(E2, Pv, NodeNext)
+        .load(E3, E2, NodeNext)
+        .move(E2, E3)
+        .virtualCall(Evicted, MB.thisVar(), "removeNode", {L.Object}, {K2})
+        .load(EvV, Evicted, NodeValue);
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "put", {L.Object, L.Object}, L.Object);
+    VarId R = MB.local("r", L.Object);
+    MB.virtualCall(R, MB.thisVar(), "putVal", {L.Object, L.Object},
+                   {MB.param(0), MB.param(1)})
+        .ret(R);
+  }
+
+  // HashMap.getNode(k): list walk + tree path.
+  {
+    MethodBuilder MB = P.addMethod(L.HashMap, "getNode", {L.Object}, Node);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId First = MB.local("first", Node);
+    VarId Ft = MB.local("ft", TreeNode);
+    VarId Tn = MB.local("tn", TreeNode);
+    VarId E = MB.local("e", Node);
+    MB.load(Tab, MB.thisVar(), Table).arrayLoad(First, Tab);
+    if (treeNodesEnabled())
+      MB.cast(Ft, TreeNode, First)
+          .virtualCall(Tn, Ft, "getTreeNode", {L.Object}, {MB.param(0)})
+          .ret(Tn);
+    MB.load(E, First, NodeNext).ret(First).ret(E);
+  }
+  {
+    MethodBuilder MB = P.addMethod(L.HashMap, "get", {L.Object}, L.Object);
+    VarId E = MB.local("e", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.virtualCall(E, MB.thisVar(), "getNode", {L.Object}, {MB.param(0)})
+        .load(V, E, NodeValue)
+        .ret(V);
+  }
+  P.addMethod(L.HashMap, "containsKey", {L.Object}, BoolTy);
+  {
+    // computeIfAbsent: mapping function applied, result stored (tree and
+    // list paths) and returned alongside the present value.
+    MethodBuilder MB = P.addMethod(L.HashMap, "computeIfAbsent",
+                                   {L.Object, L.Function}, L.Object);
+    VarId E = MB.local("e", Node);
+    VarId OldV = MB.local("oldv", L.Object);
+    VarId V = MB.local("v", L.Object);
+    VarId R = MB.local("r", L.Object);
+    MB.virtualCall(E, MB.thisVar(), "getNode", {L.Object}, {MB.param(0)})
+        .load(OldV, E, NodeValue)
+        .ret(OldV)
+        .virtualCall(V, MB.param(1), "apply", {L.Object}, {MB.param(0)})
+        .virtualCall(R, MB.thisVar(), "putVal", {L.Object, L.Object},
+                     {MB.param(0), V})
+        .ret(V);
+    (void)R;
+  }
+
+  // containsValue: full table + chain walk (lots of java.util variables —
+  // this is what a flow-insensitive view of the real loop looks like).
+  {
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "containsValue", {L.Object}, BoolTy);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId E = MB.local("e", Node);
+    VarId E2 = MB.local("e2", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(Tab, MB.thisVar(), Table)
+        .arrayLoad(E, Tab)
+        .load(E2, E, NodeNext)
+        .move(E, E2)
+        .load(V, E, NodeValue);
+  }
+  {
+    MethodBuilder MB = P.addMethod(L.HashMap, "getOrDefault",
+                                   {L.Object, L.Object}, L.Object);
+    VarId E = MB.local("e", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.virtualCall(E, MB.thisVar(), "getNode", {L.Object}, {MB.param(0)})
+        .load(V, E, NodeValue)
+        .ret(V)
+        .ret(MB.param(1));
+  }
+  {
+    // putAll: iterate the argument map's entry set and putVal each pair.
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "putAll", {L.Map}, TypeId::invalid());
+    VarId Es = MB.local("es", L.Set);
+    VarId It = MB.local("it", L.Iterator);
+    VarId En = MB.local("en", L.Object);
+    VarId Me = MB.local("me", L.MapEntry);
+    VarId K = MB.local("k", L.Object);
+    VarId V = MB.local("v", L.Object);
+    VarId R = MB.local("r", L.Object);
+    MB.virtualCall(Es, MB.param(0), "entrySet", {}, {})
+        .virtualCall(It, Es, "iterator", {}, {})
+        .virtualCall(En, It, "next", {}, {})
+        .cast(Me, L.MapEntry, En)
+        .virtualCall(K, Me, "getKey", {}, {})
+        .virtualCall(V, Me, "getValue", {}, {})
+        .virtualCall(R, MB.thisVar(), "putVal", {L.Object, L.Object}, {K, V});
+  }
+  {
+    // TreeNode.removeTreeNode: root/parent shuffles plus untreeify back to
+    // plain nodes — yet another path recycling all map data.
+    MethodBuilder MB = P.addMethod(TreeNode, "removeTreeNode",
+                                   {L.HashMap, NodeArr}, TypeId::invalid());
+    VarId Lv = MB.local("l", TreeNode);
+    VarId Rv = MB.local("r", TreeNode);
+    VarId K = MB.local("k", L.Object);
+    VarId V = MB.local("v", L.Object);
+    VarId NullNode = MB.local("nil", Node);
+    VarId Plain = MB.local("plain", Node);
+    MB.load(Lv, MB.thisVar(), TnLeft)
+        .load(Rv, MB.thisVar(), TnRight)
+        .store(Lv, TnParent, Rv)
+        .arrayStore(MB.param(1), Rv)
+        .load(K, MB.thisVar(), NodeKey)
+        .load(V, MB.thisVar(), NodeValue)
+        .virtualCall(Plain, MB.param(0), "newNode", {L.Object, L.Object, Node},
+                     {K, V, NullNode})
+        .arrayStore(MB.param(1), Plain);
+    VarId Bal = MB.local("bal", TreeNode);
+    MB.virtualCall(Bal, MB.thisVar(), "balanceDeletion",
+                   {TreeNode, TreeNode}, {Rv, Lv})
+        .arrayStore(MB.param(1), Bal);
+  }
+  {
+    // remove: list unlink and tree path.
+    MethodBuilder MB = P.addMethod(L.HashMap, "remove", {L.Object}, L.Object);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId E = MB.local("e", Node);
+    VarId Tp = MB.local("tp", TreeNode);
+    VarId Nxt = MB.local("nxt", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(Tab, MB.thisVar(), Table)
+        .virtualCall(E, MB.thisVar(), "getNode", {L.Object}, {MB.param(0)});
+    if (treeNodesEnabled())
+      MB.cast(Tp, TreeNode, E)
+          .virtualCall(VarId::invalid(), Tp, "removeTreeNode",
+                       {L.HashMap, NodeArr}, {MB.thisVar(), Tab});
+    MB.load(Nxt, E, NodeNext)
+        .arrayStore(Tab, Nxt)
+        .load(V, E, NodeValue)
+        .ret(V);
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(L.HashMap, "replace", {L.Object, L.Object}, L.Object);
+    VarId E = MB.local("e", Node);
+    VarId Old = MB.local("old", L.Object);
+    MB.virtualCall(E, MB.thisVar(), "getNode", {L.Object}, {MB.param(0)})
+        .load(Old, E, NodeValue)
+        .store(E, NodeValue, MB.param(1))
+        .ret(Old);
+  }
+
+  // Views + iterators: entries surface through table walks.
+  EntryLoader OriginalLoader = [this, Table, NodeNext, NodeKey, NodeValue,
+                                NodeArr,
+                                Node](MethodBuilder &MB, VarId MapVar) {
+    // Mirrors HashIterator's real walk shape: the table cursor is re-read
+    // on bin advance, `current`/`next` style locals hold intermediate
+    // nodes, and key/value are read at each stage — all of these are
+    // distinct bytecode locals in the JDK and each one costs the analysis.
+    VarId Tab = MB.local("lv_tab", NodeArr);
+    VarId Tab2 = MB.local("lv_tab2", NodeArr);
+    VarId First = MB.local("lv_first", Node);
+    VarId Cur = MB.local("lv_cur", Node);
+    VarId Nxt = MB.local("lv_nxt", Node);
+    VarId E = MB.local("lv_e", Node);
+    VarId K = MB.local("lv_k", L.Object);
+    VarId V = MB.local("lv_v", L.Object);
+    VarId K2 = MB.local("lv_k2", L.Object);
+    VarId V2 = MB.local("lv_v2", L.Object);
+    MB.load(Tab, MapVar, Table)
+        .arrayLoad(First, Tab)
+        .move(Cur, First)
+        .load(Nxt, Cur, NodeNext)
+        .load(Tab2, MapVar, Table) // bin advance re-reads the table
+        .arrayLoad(E, Tab2)
+        .move(E, Nxt)
+        .load(K, E, NodeKey)
+        .load(V, E, NodeValue)
+        .load(K2, Cur, NodeKey)
+        .load(V2, Cur, NodeValue);
+    (void)K2;
+    (void)V2;
+    return EntryAccess{E, K, V};
+  };
+  buildMapViews(L.HashMap, KeySetCache, ValuesCache, EntrySetCache,
+                "java.util.HashMap", OriginalLoader);
+
+  // --- LinkedHashMap: overrides newNode with its Entry subclass and keeps
+  // the doubly linked list through head/tail.
+  FieldId LhmHead = P.addField(L.LinkedHashMap, "head", LhmEntry);
+  FieldId LhmTail = P.addField(L.LinkedHashMap, "tail", LhmEntry);
+  {
+    MethodBuilder MB =
+        P.addMethod(L.LinkedHashMap, "<init>", {}, TypeId::invalid());
+    L.LinkedHashMapInit = MB.id();
+    MB.specialCall(VarId::invalid(), MB.thisVar(), L.HashMapInit, {});
+  }
+  {
+    MethodBuilder MB = P.addMethod(L.LinkedHashMap, "newNode",
+                                   {L.Object, L.Object, Node}, Node);
+    VarId N = MB.local("n", LhmEntry);
+    VarId Last = MB.local("last", LhmEntry);
+    MB.alloc(N, LhmEntry)
+        .specialCall(VarId::invalid(), N, LhmEntryInit, {})
+        .store(N, NodeKey, MB.param(0))
+        .store(N, NodeValue, MB.param(1))
+        .store(N, NodeNext, MB.param(2))
+        .load(Last, MB.thisVar(), LhmTail)
+        .store(MB.thisVar(), LhmTail, N)
+        .store(MB.thisVar(), LhmHead, N)
+        .store(Last, LhmAfter, N)
+        .store(N, LhmBefore, Last)
+        .ret(N);
+  }
+  FieldId LhmKeySetCache = P.addField(L.LinkedHashMap, "keySet", L.Set);
+  FieldId LhmValuesCache =
+      P.addField(L.LinkedHashMap, "values", L.Collection);
+  FieldId LhmEntrySetCache =
+      P.addField(L.LinkedHashMap, "entrySet", L.Set);
+  EntryLoader LinkedLoader = [this, LhmHead, LhmAfter, LhmBefore, NodeKey,
+                              NodeValue,
+                              LhmEntry](MethodBuilder &MB, VarId MapVar) {
+    // LinkedHashIterator walks the before/after chain from head.
+    VarId Head = MB.local("lv_head", LhmEntry);
+    VarId Cur = MB.local("lv_cur", LhmEntry);
+    VarId Nxt = MB.local("lv_nxt", LhmEntry);
+    VarId Prev = MB.local("lv_prev", LhmEntry);
+    VarId K = MB.local("lv_k", L.Object);
+    VarId V = MB.local("lv_v", L.Object);
+    MB.load(Head, MapVar, LhmHead)
+        .move(Cur, Head)
+        .load(Nxt, Cur, LhmAfter)
+        .load(Prev, Cur, LhmBefore)
+        .move(Cur, Nxt)
+        .load(K, Cur, NodeKey)
+        .load(V, Cur, NodeValue);
+    (void)Prev;
+    return EntryAccess{Cur, K, V};
+  };
+  buildMapViews(L.LinkedHashMap, LhmKeySetCache, LhmValuesCache,
+                LhmEntrySetCache, "java.util.LinkedHashMap", LinkedLoader);
+
+  // LinkedHashMap's afterNode* callbacks relink the chain on every access.
+  {
+    MethodBuilder MB = P.addMethod(L.LinkedHashMap, "afterNodeAccess",
+                                   {Node}, TypeId::invalid());
+    VarId Pc = MB.local("pc", LhmEntry);
+    VarId B = MB.local("b", LhmEntry);
+    VarId A = MB.local("a", LhmEntry);
+    VarId Tail = MB.local("tail", LhmEntry);
+    MB.cast(Pc, LhmEntry, MB.param(0))
+        .load(B, Pc, LhmBefore)
+        .load(A, Pc, LhmAfter)
+        .store(B, LhmAfter, A)
+        .store(A, LhmBefore, B)
+        .load(Tail, MB.thisVar(), LhmTail)
+        .store(Tail, LhmAfter, Pc)
+        .store(Pc, LhmBefore, Tail)
+        .store(MB.thisVar(), LhmTail, Pc);
+  }
+  {
+    // LinkedHashMap.get: getNode + afterNodeAccess (access order upkeep).
+    MethodBuilder MB =
+        P.addMethod(L.LinkedHashMap, "get", {L.Object}, L.Object);
+    VarId E = MB.local("e", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.virtualCall(E, MB.thisVar(), "getNode", {L.Object}, {MB.param(0)})
+        .virtualCall(VarId::invalid(), MB.thisVar(), "afterNodeAccess",
+                     {Node}, {E})
+        .load(V, E, NodeValue)
+        .ret(V);
+  }
+  (void)TnPrev;
+}
+
+//===----------------------------------------------------------------------===//
+// Original ConcurrentHashMap (TreeBin variant of the same shapes)
+//===----------------------------------------------------------------------===//
+
+void LibraryBuilder::buildOriginalConcurrentHashMap() {
+  L.ConcurrentHashMap =
+      cls("java.util.concurrent.ConcurrentHashMap", AbstractMap, {L.Map});
+  FieldId NodeKey, NodeValue, NodeNext;
+  MethodId NodeInit;
+  TypeId Node =
+      buildNodeClass("java.util.concurrent.ConcurrentHashMap$Node", L.Object,
+                     NodeKey, NodeValue, NodeNext, NodeInit);
+  TypeId NodeArr = P.addArrayType(Node);
+
+  // In the JDK, tree bins hide behind a TreeBin node holding TreeNodes.
+  TypeId TreeNode = cls("java.util.concurrent.ConcurrentHashMap$TreeNode",
+                        Node, {L.MapEntry});
+  FieldId TnLeft = P.addField(TreeNode, "left", TreeNode);
+  FieldId TnRight = P.addField(TreeNode, "right", TreeNode);
+  MethodId TreeNodeInit = trivialInit(TreeNode);
+  TypeId TreeBin = cls("java.util.concurrent.ConcurrentHashMap$TreeBin",
+                       Node, {L.MapEntry});
+  FieldId TbFirst = P.addField(TreeBin, "first", TreeNode);
+  MethodId TreeBinInit = trivialInit(TreeBin);
+
+  TypeId Chm = L.ConcurrentHashMap;
+  FieldId Table = P.addField(Chm, "table", NodeArr);
+  FieldId KeySetCache = P.addField(Chm, "keySet", L.Set);
+  FieldId ValuesCache = P.addField(Chm, "values", L.Collection);
+  FieldId EntrySetCache = P.addField(Chm, "entrySet", L.Set);
+
+  {
+    MethodBuilder MB = P.addMethod(Chm, "<init>", {}, TypeId::invalid());
+    L.ConcurrentHashMapInit = MB.id();
+    VarId Tab = MB.local("tab", NodeArr);
+    MB.alloc(Tab, NodeArr).store(MB.thisVar(), Table, Tab);
+  }
+
+  // TreeNode.findTreeNode(k): recursive search.
+  {
+    MethodBuilder MB =
+        P.addMethod(TreeNode, "findTreeNode", {L.Object}, TreeNode);
+    VarId Lv = MB.local("l", TreeNode);
+    VarId Rv = MB.local("r", TreeNode);
+    VarId Fl = MB.local("fl", TreeNode);
+    MB.load(Lv, MB.thisVar(), TnLeft)
+        .load(Rv, MB.thisVar(), TnRight)
+        .virtualCall(Fl, Lv, "findTreeNode", {L.Object}, {MB.param(0)})
+        .ret(Fl)
+        .ret(Rv)
+        .ret(MB.thisVar());
+  }
+
+  // TreeBin.putTreeVal(k, v): allocates the TreeNode internally — same
+  // context-erasing double dispatch as HashMap's.
+  {
+    MethodBuilder MB =
+        P.addMethod(TreeBin, "putTreeVal", {L.Object, L.Object}, Node);
+    VarId X = MB.local("x", TreeNode);
+    VarId F = MB.local("f", TreeNode);
+    VarId Q = MB.local("q", TreeNode);
+    MB.alloc(X, TreeNode)
+        .specialCall(VarId::invalid(), X, TreeNodeInit, {})
+        .store(X, NodeKey, MB.param(0))
+        .store(X, NodeValue, MB.param(1))
+        .store(MB.thisVar(), TbFirst, X)
+        .load(F, MB.thisVar(), TbFirst)
+        .store(F, TnLeft, X)
+        .virtualCall(Q, F, "findTreeNode", {L.Object}, {MB.param(0)})
+        .ret(Q);
+  }
+
+  // TreeBin.find(k) for gets.
+  {
+    MethodBuilder MB = P.addMethod(TreeBin, "find", {L.Object}, Node);
+    VarId F = MB.local("f", TreeNode);
+    VarId Q = MB.local("q", TreeNode);
+    MB.load(F, MB.thisVar(), TbFirst)
+        .virtualCall(Q, F, "findTreeNode", {L.Object}, {MB.param(0)})
+        .ret(Q);
+  }
+
+  // treeifyBin: wraps a bin into a TreeBin with copied TreeNodes.
+  {
+    MethodBuilder MB =
+        P.addMethod(Chm, "treeifyBin", {NodeArr}, TypeId::invalid());
+    VarId E = MB.local("e", Node);
+    VarId K = MB.local("k", L.Object);
+    VarId V = MB.local("v", L.Object);
+    MB.arrayLoad(E, MB.param(0)).load(K, E, NodeKey).load(V, E, NodeValue);
+    if (treeNodesEnabled()) {
+      VarId Tn = MB.local("tn", TreeNode);
+      VarId Tb = MB.local("tb", TreeBin);
+      MB.alloc(Tn, TreeNode)
+          .specialCall(VarId::invalid(), Tn, TreeNodeInit, {})
+          .store(Tn, NodeKey, K)
+          .store(Tn, NodeValue, V)
+          .alloc(Tb, TreeBin)
+          .specialCall(VarId::invalid(), Tb, TreeBinInit, {})
+          .store(Tb, TbFirst, Tn)
+          .arrayStore(MB.param(0), Tb);
+    }
+  }
+
+  // ForwardingNode + transfer(): CHM's resize protocol — forwarding nodes
+  // route readers to the next table while bins migrate.
+  TypeId Fwd = cls("java.util.concurrent.ConcurrentHashMap$ForwardingNode",
+                   Node, {L.MapEntry});
+  FieldId FwdNextTable = P.addField(Fwd, "nextTable", NodeArr);
+  MethodId FwdInit = trivialInit(Fwd);
+  {
+    MethodBuilder MB = P.addMethod(Chm, "transfer", {NodeArr},
+                                   TypeId::invalid());
+    VarId NewTab = MB.local("newTab", NodeArr);
+    VarId FwdV = MB.local("fwd", Fwd);
+    VarId E = MB.local("e", Node);
+    VarId Ec = MB.local("ec", Fwd);
+    VarId T2 = MB.local("t2", NodeArr);
+    VarId E2 = MB.local("e2", Node);
+    VarId LoHead = MB.local("loHead", Node);
+    VarId HiHead = MB.local("hiHead", Node);
+    MB.alloc(NewTab, NodeArr)
+        .store(MB.thisVar(), Table, NewTab)
+        .alloc(FwdV, Fwd)
+        .specialCall(VarId::invalid(), FwdV, FwdInit, {})
+        .store(FwdV, FwdNextTable, NewTab)
+        .arrayStore(MB.param(0), FwdV)
+        .arrayLoad(E, MB.param(0))
+        .cast(Ec, Fwd, E)
+        .load(T2, Ec, FwdNextTable)
+        .arrayLoad(E2, T2)
+        .move(LoHead, E2)
+        .move(HiHead, E)
+        .arrayStore(NewTab, LoHead)
+        .arrayStore(NewTab, HiHead);
+  }
+
+  // putVal: list path + tree path.
+  {
+    MethodBuilder MB = P.addMethod(Chm, "putVal", {L.Object, L.Object},
+                                   L.Object);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId F = MB.local("f", Node);
+    VarId Tb = MB.local("tb", TreeBin);
+    VarId E1 = MB.local("e1", Node);
+    VarId Old1 = MB.local("old1", L.Object);
+    VarId N = MB.local("n", Node);
+    VarId Old = MB.local("old", L.Object);
+    MB.load(Tab, MB.thisVar(), Table).arrayLoad(F, Tab);
+    if (treeNodesEnabled())
+      MB.cast(Tb, TreeBin, F)
+          .virtualCall(E1, Tb, "putTreeVal", {L.Object, L.Object},
+                       {MB.param(0), MB.param(1)})
+          .store(E1, NodeValue, MB.param(1))
+          .load(Old1, E1, NodeValue)
+          .ret(Old1);
+    MB.alloc(N, Node)
+        .specialCall(VarId::invalid(), N, NodeInit, {})
+        .store(N, NodeKey, MB.param(0))
+        .store(N, NodeValue, MB.param(1))
+        .store(N, NodeNext, F)
+        .arrayStore(Tab, N)
+        .virtualCall(VarId::invalid(), MB.thisVar(), "treeifyBin", {NodeArr},
+                     {Tab})
+        .virtualCall(VarId::invalid(), MB.thisVar(), "transfer", {NodeArr},
+                     {Tab})
+        .store(F, NodeValue, MB.param(1))
+        .load(Old, F, NodeValue)
+        .ret(Old);
+  }
+  {
+    MethodBuilder MB = P.addMethod(Chm, "put", {L.Object, L.Object}, L.Object);
+    VarId R = MB.local("r", L.Object);
+    MB.virtualCall(R, MB.thisVar(), "putVal", {L.Object, L.Object},
+                   {MB.param(0), MB.param(1)})
+        .ret(R);
+  }
+  {
+    MethodBuilder MB = P.addMethod(Chm, "get", {L.Object}, L.Object);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId E = MB.local("e", Node);
+    VarId Tb = MB.local("tb", TreeBin);
+    VarId Tn = MB.local("tn", Node);
+    VarId E2 = MB.local("e2", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(Tab, MB.thisVar(), Table).arrayLoad(E, Tab);
+    if (treeNodesEnabled())
+      MB.cast(Tb, TreeBin, E)
+          .virtualCall(Tn, Tb, "find", {L.Object}, {MB.param(0)})
+          .move(E, Tn);
+    MB.load(E2, E, NodeNext)
+        .move(E, E2)
+        .load(V, E, NodeValue)
+        .ret(V);
+  }
+  {
+    MethodBuilder MB = P.addMethod(Chm, "remove", {L.Object}, L.Object);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId E = MB.local("e", Node);
+    VarId Nxt = MB.local("nxt", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(Tab, MB.thisVar(), Table)
+        .arrayLoad(E, Tab)
+        .load(Nxt, E, NodeNext)
+        .arrayStore(Tab, Nxt)
+        .load(V, E, NodeValue)
+        .ret(V);
+  }
+  P.addMethod(Chm, "containsKey", {L.Object}, BoolTy);
+  {
+    MethodBuilder MB = P.addMethod(Chm, "containsValue", {L.Object}, BoolTy);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId E = MB.local("e", Node);
+    VarId E2 = MB.local("e2", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(Tab, MB.thisVar(), Table)
+        .arrayLoad(E, Tab)
+        .load(E2, E, NodeNext)
+        .move(E, E2)
+        .load(V, E, NodeValue);
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(Chm, "getOrDefault", {L.Object, L.Object}, L.Object);
+    VarId V = MB.local("v", L.Object);
+    MB.virtualCall(V, MB.thisVar(), "get", {L.Object}, {MB.param(0)})
+        .ret(V)
+        .ret(MB.param(1));
+  }
+  {
+    MethodBuilder MB = P.addMethod(Chm, "putAll", {L.Map}, TypeId::invalid());
+    VarId Es = MB.local("es", L.Set);
+    VarId It = MB.local("it", L.Iterator);
+    VarId En = MB.local("en", L.Object);
+    VarId Me = MB.local("me", L.MapEntry);
+    VarId K = MB.local("k", L.Object);
+    VarId V = MB.local("v", L.Object);
+    VarId R = MB.local("r", L.Object);
+    MB.virtualCall(Es, MB.param(0), "entrySet", {}, {})
+        .virtualCall(It, Es, "iterator", {}, {})
+        .virtualCall(En, It, "next", {}, {})
+        .cast(Me, L.MapEntry, En)
+        .virtualCall(K, Me, "getKey", {}, {})
+        .virtualCall(V, Me, "getValue", {}, {})
+        .virtualCall(R, MB.thisVar(), "putVal", {L.Object, L.Object}, {K, V});
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(Chm, "replace", {L.Object, L.Object}, L.Object);
+    VarId Tab = MB.local("tab", NodeArr);
+    VarId E = MB.local("e", Node);
+    VarId Old = MB.local("old", L.Object);
+    MB.load(Tab, MB.thisVar(), Table)
+        .arrayLoad(E, Tab)
+        .load(Old, E, NodeValue)
+        .store(E, NodeValue, MB.param(1))
+        .ret(Old);
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(Chm, "computeIfAbsent", {L.Object, L.Function}, L.Object);
+    VarId V = MB.local("v", L.Object);
+    VarId R = MB.local("r", L.Object);
+    VarId Old = MB.local("old", L.Object);
+    MB.virtualCall(Old, MB.thisVar(), "get", {L.Object}, {MB.param(0)})
+        .ret(Old)
+        .virtualCall(V, MB.param(1), "apply", {L.Object}, {MB.param(0)})
+        .virtualCall(R, MB.thisVar(), "putVal", {L.Object, L.Object},
+                     {MB.param(0), V})
+        .ret(V);
+    (void)R;
+  }
+
+  EntryLoader ChmLoader = [this, Table, NodeNext, NodeKey, NodeValue, NodeArr,
+                           Node](MethodBuilder &MB, VarId MapVar) {
+    // Mirrors CHM's Traverser: current table, a possibly-forwarded next
+    // table, the bin cursor and per-stage key/value reads.
+    VarId Tab = MB.local("lv_tab", NodeArr);
+    VarId NextTab = MB.local("lv_nexttab", NodeArr);
+    VarId Base = MB.local("lv_base", Node);
+    VarId Cur = MB.local("lv_cur", Node);
+    VarId Spare = MB.local("lv_spare", Node);
+    VarId E = MB.local("lv_e", Node);
+    VarId K = MB.local("lv_k", L.Object);
+    VarId V = MB.local("lv_v", L.Object);
+    VarId K2 = MB.local("lv_k2", L.Object);
+    MB.load(Tab, MapVar, Table)
+        .arrayLoad(Base, Tab)
+        .move(Cur, Base)
+        .load(Spare, Cur, NodeNext)
+        .load(NextTab, MapVar, Table)
+        .arrayLoad(E, NextTab)
+        .move(E, Spare)
+        .load(K, E, NodeKey)
+        .load(V, E, NodeValue)
+        .load(K2, Cur, NodeKey);
+    (void)K2;
+    return EntryAccess{E, K, V};
+  };
+  buildMapViews(Chm, KeySetCache, ValuesCache, EntrySetCache,
+                "java.util.concurrent.ConcurrentHashMap", ChmLoader);
+}
+
+//===----------------------------------------------------------------------===//
+// Sound-modulo-analysis replacements (paper Figure 3, right-hand side)
+//===----------------------------------------------------------------------===//
+
+void LibraryBuilder::buildSimplifiedMapCore(TypeId MapTy,
+                                            std::string_view Prefix,
+                                            MethodId &InitOut) {
+  FieldId NodeKey, NodeValue, NodeNext;
+  MethodId NodeInit;
+  TypeId Node = buildNodeClass(std::string(Prefix) + "$Node", L.Object,
+                               NodeKey, NodeValue, NodeNext, NodeInit);
+
+  FieldId Contents = P.addField(MapTy, "contents", Node);
+  FieldId KeySetCache = P.addField(MapTy, "keySet", L.Set);
+  FieldId ValuesCache = P.addField(MapTy, "values", L.Collection);
+  FieldId EntrySetCache = P.addField(MapTy, "entrySet", L.Set);
+
+  // Constructor: one Node for the whole map; `next` is a self-loop so that
+  // original-code iteration idioms (`e = e.next`) stay behaviorally
+  // equivalent.
+  {
+    MethodBuilder MB = P.addMethod(MapTy, "<init>", {}, TypeId::invalid());
+    InitOut = MB.id();
+    VarId N = MB.local("n", Node);
+    MB.alloc(N, Node)
+        .specialCall(VarId::invalid(), N, NodeInit, {})
+        .store(N, NodeNext, N)
+        .store(MB.thisVar(), Contents, N);
+  }
+
+  // put: assignment into the contents node — no allocation per insertion.
+  {
+    MethodBuilder MB =
+        P.addMethod(MapTy, "put", {L.Object, L.Object}, L.Object);
+    VarId C = MB.local("c", Node);
+    VarId Old = MB.local("old", L.Object);
+    MB.load(C, MB.thisVar(), Contents)
+        .load(Old, C, NodeValue)
+        .store(C, NodeKey, MB.param(0))
+        .store(C, NodeValue, MB.param(1))
+        .ret(Old);
+  }
+  {
+    MethodBuilder MB = P.addMethod(MapTy, "get", {L.Object}, L.Object);
+    VarId C = MB.local("c", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(C, MB.thisVar(), Contents).load(V, C, NodeValue).ret(V);
+  }
+  {
+    MethodBuilder MB = P.addMethod(MapTy, "remove", {L.Object}, L.Object);
+    VarId C = MB.local("c", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(C, MB.thisVar(), Contents).load(V, C, NodeValue).ret(V);
+  }
+  P.addMethod(MapTy, "containsKey", {L.Object}, BoolTy);
+  P.addMethod(MapTy, "containsValue", {L.Object}, BoolTy);
+  {
+    MethodBuilder MB =
+        P.addMethod(MapTy, "getOrDefault", {L.Object, L.Object}, L.Object);
+    VarId C = MB.local("c", Node);
+    VarId V = MB.local("v", L.Object);
+    MB.load(C, MB.thisVar(), Contents)
+        .load(V, C, NodeValue)
+        .ret(V)
+        .ret(MB.param(1));
+  }
+  {
+    // putAll: all of the source map's keys/values land in contents.
+    MethodBuilder MB = P.addMethod(MapTy, "putAll", {L.Map},
+                                   TypeId::invalid());
+    VarId Es = MB.local("es", L.Set);
+    VarId It = MB.local("it", L.Iterator);
+    VarId En = MB.local("en", L.Object);
+    VarId Me = MB.local("me", L.MapEntry);
+    VarId K = MB.local("k", L.Object);
+    VarId V = MB.local("v", L.Object);
+    VarId C = MB.local("c", Node);
+    MB.virtualCall(Es, MB.param(0), "entrySet", {}, {})
+        .virtualCall(It, Es, "iterator", {}, {})
+        .virtualCall(En, It, "next", {}, {})
+        .cast(Me, L.MapEntry, En)
+        .virtualCall(K, Me, "getKey", {}, {})
+        .virtualCall(V, Me, "getValue", {}, {})
+        .load(C, MB.thisVar(), Contents)
+        .store(C, NodeKey, K)
+        .store(C, NodeValue, V);
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(MapTy, "replace", {L.Object, L.Object}, L.Object);
+    VarId C = MB.local("c", Node);
+    VarId Old = MB.local("old", L.Object);
+    MB.load(C, MB.thisVar(), Contents)
+        .load(Old, C, NodeValue)
+        .store(C, NodeValue, MB.param(1))
+        .ret(Old);
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(MapTy, "computeIfAbsent", {L.Object, L.Function},
+                    L.Object);
+    VarId C = MB.local("c", Node);
+    VarId Old = MB.local("old", L.Object);
+    VarId V = MB.local("v", L.Object);
+    MB.load(C, MB.thisVar(), Contents)
+        .load(Old, C, NodeValue)
+        .ret(Old)
+        .virtualCall(V, MB.param(1), "apply", {L.Object}, {MB.param(0)})
+        .store(C, NodeKey, MB.param(0))
+        .store(C, NodeValue, V)
+        .ret(V);
+  }
+
+  // Views and iterators over the single node. The loader is exactly the
+  // paper's Figure 3 rewrite: `e = contents; e = e.next; use e.key`.
+  EntryLoader SimplifiedLoader = [this, Contents, NodeNext, NodeKey,
+                                  NodeValue,
+                                  Node](MethodBuilder &MB, VarId MapVar) {
+    VarId C = MB.local("lv_c", Node);
+    VarId E = MB.local("lv_e", Node);
+    VarId K = MB.local("lv_k", L.Object);
+    VarId V = MB.local("lv_v", L.Object);
+    MB.load(C, MapVar, Contents)
+        .load(E, C, NodeNext) // forall i, table[i] abstracts to contents
+        .load(K, E, NodeKey)
+        .load(V, E, NodeValue);
+    return EntryAccess{E, K, V};
+  };
+  buildMapViews(MapTy, KeySetCache, ValuesCache, EntrySetCache, Prefix,
+                SimplifiedLoader);
+}
+
+void LibraryBuilder::buildSimplifiedHashMapFamily() {
+  L.HashMap = cls("java.util.HashMap", AbstractMap, {L.Map});
+  buildSimplifiedMapCore(L.HashMap, "java.util.HashMap", L.HashMapInit);
+
+  // The paper rewrote LinkedHashMap as its own class ("currently merely two
+  // classes: HashMap, LinkedHashMap"): it gets its own contents node and
+  // its own simplified views, so LinkedHashMap instances do not share
+  // abstract view/iterator state with plain HashMaps.
+  L.LinkedHashMap = cls("java.util.LinkedHashMap", L.HashMap, {L.Map});
+  buildSimplifiedMapCore(L.LinkedHashMap, "java.util.LinkedHashMap",
+                         L.LinkedHashMapInit);
+}
+
+void LibraryBuilder::buildSimplifiedConcurrentHashMap() {
+  L.ConcurrentHashMap =
+      cls("java.util.concurrent.ConcurrentHashMap", AbstractMap, {L.Map});
+  buildSimplifiedMapCore(L.ConcurrentHashMap,
+                         "java.util.concurrent.ConcurrentHashMap",
+                         L.ConcurrentHashMapInit);
+}
+
+void LibraryBuilder::buildHashSets() {
+  // java.util.HashSet is a thin facade over HashMap (JDK design): add()
+  // is map.put(e, PRESENT), iterator() is keySet().iterator(). The
+  // sound-modulo map rewrite therefore simplifies sets for free, exactly
+  // as in the paper's modified JDK.
+  TypeId HashSet = cls("java.util.HashSet", AbstractSet, {L.Set});
+  FieldId BackingMap = P.addField(HashSet, "map", L.Map);
+  FieldId Present =
+      P.addField(HashSet, "PRESENT", L.Object, /*IsStatic=*/true);
+  {
+    MethodBuilder MB = P.addMethod(HashSet, "<init>", {}, TypeId::invalid());
+    VarId M = MB.local("m", L.HashMap);
+    VarId Pr = MB.local("pr", L.Object);
+    MB.alloc(M, L.HashMap)
+        .specialCall(VarId::invalid(), M, L.HashMapInit, {})
+        .store(MB.thisVar(), BackingMap, M)
+        .alloc(Pr, L.Object)
+        .staticStore(Present, Pr);
+  }
+  {
+    MethodBuilder MB = P.addMethod(HashSet, "add", {L.Object}, BoolTy);
+    VarId M = MB.local("m", L.Map);
+    VarId Pr = MB.local("pr", L.Object);
+    VarId R = MB.local("r", L.Object);
+    MB.load(M, MB.thisVar(), BackingMap)
+        .staticLoad(Pr, Present)
+        .virtualCall(R, M, "put", {L.Object, L.Object}, {MB.param(0), Pr});
+    (void)R;
+  }
+  {
+    MethodBuilder MB = P.addMethod(HashSet, "contains", {L.Object}, BoolTy);
+    VarId M = MB.local("m", L.Map);
+    MB.load(M, MB.thisVar(), BackingMap)
+        .virtualCall(VarId::invalid(), M, "containsKey", {L.Object},
+                     {MB.param(0)});
+  }
+  {
+    MethodBuilder MB = P.addMethod(HashSet, "remove", {L.Object}, BoolTy);
+    VarId M = MB.local("m", L.Map);
+    VarId R = MB.local("r", L.Object);
+    MB.load(M, MB.thisVar(), BackingMap)
+        .virtualCall(R, M, "remove", {L.Object}, {MB.param(0)});
+    (void)R;
+  }
+  {
+    MethodBuilder MB = P.addMethod(HashSet, "iterator", {}, L.Iterator);
+    VarId M = MB.local("m", L.Map);
+    VarId Ks = MB.local("ks", L.Set);
+    VarId It = MB.local("it", L.Iterator);
+    MB.load(M, MB.thisVar(), BackingMap)
+        .virtualCall(Ks, M, "keySet", {}, {})
+        .virtualCall(It, Ks, "iterator", {}, {})
+        .ret(It);
+  }
+  {
+    MethodBuilder MB =
+        P.addMethod(HashSet, "forEach", {L.Consumer}, TypeId::invalid());
+    VarId M = MB.local("m", L.Map);
+    VarId Ks = MB.local("ks", L.Set);
+    MB.load(M, MB.thisVar(), BackingMap)
+        .virtualCall(Ks, M, "keySet", {}, {})
+        .virtualCall(VarId::invalid(), Ks, "forEach", {L.Consumer},
+                     {MB.param(0)});
+  }
+  L.HashSet = HashSet;
+
+  // LinkedHashSet: a HashSet whose backing map is a LinkedHashMap.
+  TypeId LinkedHashSet =
+      cls("java.util.LinkedHashSet", HashSet, {L.Set});
+  {
+    MethodBuilder MB =
+        P.addMethod(LinkedHashSet, "<init>", {}, TypeId::invalid());
+    VarId M = MB.local("m", L.LinkedHashMap);
+    MB.alloc(M, L.LinkedHashMap)
+        .specialCall(VarId::invalid(), M, L.LinkedHashMapInit, {})
+        .store(MB.thisVar(), BackingMap, M);
+  }
+  L.LinkedHashSet = LinkedHashSet;
+}
+
+} // namespace
+
+JavaLib jackee::javalib::buildJavaLibrary(Program &P,
+                                          CollectionModel Model) {
+  return LibraryBuilder(P, Model).run();
+}
+
+JavaLib jackee::javalib::buildJavaLibrary(Program &P,
+                                          bool SoundModuloCollections) {
+  return LibraryBuilder(P, SoundModuloCollections
+                               ? CollectionModel::SoundModulo
+                               : CollectionModel::OriginalJdk8)
+      .run();
+}

@@ -1,0 +1,90 @@
+//===- JavaLibrary.h - java.lang/java.util IR models ------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the Java standard-library subset that enterprise applications
+/// exercise, as IR. Two build modes correspond to the paper's Section 4:
+///
+///  - **Original** (`SoundModuloCollections = false`): a faithful
+///    *structural* model of JDK 8 collections as a flow-insensitive
+///    analysis sees them — `HashMap` backed by a `Node[] table` array, the
+///    `TreeNode` subclass reachable through `treeifyBin`, and the
+///    `treeNode.putTreeVal(this, tab, ...)` double-dispatch pattern that
+///    silently drops one context element of a 2-object-sensitive analysis
+///    (receiver = internally allocated TreeNode). `LinkedHashMap` and
+///    `java.util.concurrent.ConcurrentHashMap` share the same shapes.
+///
+///  - **Sound-modulo-analysis** (`SoundModuloCollections = true`): the
+///    paper's replacement implementations — the table array collapses to a
+///    single `contents` node (sound for an array-insensitive analysis),
+///    iteration collapses to one `next` hop (sound for a flow-insensitive
+///    analysis), *all* exceptions the original can throw are still
+///    allocated and thrown (NullPointerException,
+///    ConcurrentModificationException, NoSuchElementException), and the
+///    TreeNode class is gone entirely.
+///
+/// Everything else (`Object`, `String`, the Throwable hierarchy,
+/// `ArrayList`, interfaces, functional interfaces) is identical across
+/// modes, because the paper rewrites only the map family.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_JAVALIB_JAVALIBRARY_H
+#define JACKEE_JAVALIB_JAVALIBRARY_H
+
+#include "ir/Program.h"
+
+namespace jackee {
+namespace javalib {
+
+/// Frequently used library entity ids, filled by `buildJavaLibrary`.
+struct JavaLib {
+  // java.lang
+  ir::TypeId Object, String, StringBuilder;
+  ir::TypeId Throwable, Error, Exception, RuntimeException;
+  ir::TypeId NullPointerException, ClassCastException,
+      IllegalStateException, IllegalArgumentException,
+      UnsupportedOperationException;
+  ir::MethodId ObjectInit;
+
+  // Functional interfaces.
+  ir::TypeId Consumer, BiConsumer, Function;
+
+  // java.util interfaces & exceptions.
+  ir::TypeId Iterable, Iterator, Collection, List, Set, Map, MapEntry;
+  ir::TypeId ConcurrentModificationException, NoSuchElementException;
+
+  // Concrete collections.
+  ir::TypeId ArrayList, HashMap, LinkedHashMap, ConcurrentHashMap;
+  ir::TypeId HashSet, LinkedHashSet; ///< map-backed, as in the JDK
+  ir::MethodId ArrayListInit, HashMapInit, LinkedHashMapInit,
+      ConcurrentHashMapInit;
+
+  /// True when the sound-modulo-analysis collection models were built.
+  bool SoundModulo = false;
+};
+
+/// Which collection model to build.
+enum class CollectionModel {
+  OriginalJdk8,        ///< faithful structural model, TreeNodes included
+  OriginalNoTreeNodes, ///< ablation: original shapes minus all tree paths
+                       ///< (the paper singles TreeNode elimination out as
+                       ///< the largest complexity-removal factor)
+  SoundModulo,         ///< the paper's full replacement
+};
+
+/// Builds the library into \p P (which should be empty or contain only
+/// application-independent roots). Does NOT call `P.finalize()`.
+JavaLib buildJavaLibrary(ir::Program &P, CollectionModel Model);
+
+/// Convenience overload: \p SoundModuloCollections selects between
+/// OriginalJdk8 and SoundModulo.
+JavaLib buildJavaLibrary(ir::Program &P, bool SoundModuloCollections);
+
+} // namespace javalib
+} // namespace jackee
+
+#endif // JACKEE_JAVALIB_JAVALIBRARY_H

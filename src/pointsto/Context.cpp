@@ -1,0 +1,43 @@
+//===- Context.cpp --------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Context.h"
+
+using namespace jackee;
+using namespace jackee::pointsto;
+
+CtxId ContextTable::intern(std::span<const ir::AllocSiteId> Sites) {
+  std::vector<ir::AllocSiteId> Key(Sites.begin(), Sites.end());
+  auto It = Lookup.find(Key);
+  if (It != Lookup.end())
+    return CtxId(It->second);
+  uint32_t Index = static_cast<uint32_t>(Contexts.size());
+  Contexts.push_back(Key);
+  Lookup.emplace(std::move(Key), Index);
+  return CtxId(Index);
+}
+
+CtxId ContextTable::appendAndTruncate(CtxId Base, ir::AllocSiteId Extra,
+                                      uint32_t Limit) {
+  if (Limit == 0)
+    return empty();
+  const std::vector<ir::AllocSiteId> &BaseSeq = elements(Base);
+  std::vector<ir::AllocSiteId> Seq(BaseSeq);
+  Seq.push_back(Extra);
+  if (Seq.size() > Limit)
+    Seq.erase(Seq.begin(), Seq.end() - Limit);
+  return intern(Seq);
+}
+
+CtxId ContextTable::truncate(CtxId Base, uint32_t Limit) {
+  const std::vector<ir::AllocSiteId> &BaseSeq = elements(Base);
+  if (BaseSeq.size() <= Limit)
+    return Base;
+  if (Limit == 0)
+    return empty();
+  std::vector<ir::AllocSiteId> Seq(BaseSeq.end() - Limit, BaseSeq.end());
+  return intern(Seq);
+}

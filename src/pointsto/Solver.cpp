@@ -1,0 +1,430 @@
+//===- Solver.cpp ---------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Solver.h"
+
+#include <algorithm>
+#include <string_view>
+
+using namespace jackee;
+using namespace jackee::ir;
+using namespace jackee::pointsto;
+
+const std::vector<NodeId> Solver::NoInstances;
+
+Solver::Solver(const Program &P, SolverConfig Config)
+    : P(P), Config(Config) {}
+
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
+
+ValueId Solver::internValue(AllocSiteId Site, CtxId HeapCtx) {
+  uint64_t Key = packPair(Site.rawValue(), HeapCtx.rawValue());
+  auto It = ValueLookup.find(Key);
+  if (It != ValueLookup.end())
+    return ValueId(It->second);
+  uint32_t Index = static_cast<uint32_t>(Values.size());
+  Values.push_back({Site, HeapCtx});
+  ValueLookup.emplace(Key, Index);
+  return ValueId(Index);
+}
+
+NodeId Solver::internNode(NodeKind Kind, uint32_t A, uint32_t B) {
+  uint64_t Hash =
+      hashCombine(hashCombine(static_cast<size_t>(Kind), A), B);
+  std::vector<uint32_t> &Bucket = NodeBuckets[Hash];
+  for (uint32_t Candidate : Bucket) {
+    const Node &N = Nodes[Candidate];
+    if (N.Kind == Kind && N.A == A && N.B == B)
+      return NodeId(Candidate);
+  }
+  uint32_t Index = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back({Kind, A, B});
+  PointsTo.emplace_back();
+  Edges.emplace_back();
+  EdgeDedup.emplace_back();
+  Reactions.emplace_back();
+  Bucket.push_back(Index);
+
+  if (Kind == NodeKind::Var) {
+    if (A >= VarNodes.size())
+      VarNodes.resize(std::max<size_t>(P.variableCount(), A + 1));
+    VarNodes[A].push_back(NodeId(Index));
+  }
+  return NodeId(Index);
+}
+
+NodeId Solver::varNode(VarId Var, CtxId Ctx) {
+  return internNode(NodeKind::Var, Var.index(), Ctx.index());
+}
+NodeId Solver::fieldNode(ValueId Base, FieldId F) {
+  return internNode(NodeKind::ObjectField, Base.index(), F.index());
+}
+NodeId Solver::arrayNode(ValueId Base) {
+  return internNode(NodeKind::ArrayContents, Base.index(), 0);
+}
+NodeId Solver::staticNode(FieldId F) {
+  return internNode(NodeKind::StaticField, F.index(), 0);
+}
+NodeId Solver::throwNode(CMethodId CM) {
+  return internNode(NodeKind::MethodThrow, CM.index(), 0);
+}
+NodeId Solver::catchNode(CMethodId CM) {
+  return internNode(NodeKind::CatchDispatch, CM.index(), 0);
+}
+
+CMethodId Solver::internCMethod(MethodId M, CtxId Ctx) {
+  uint64_t Key = packPair(M.rawValue(), Ctx.rawValue());
+  auto It = CMethodLookup.find(Key);
+  if (It != CMethodLookup.end())
+    return CMethodId(It->second);
+  uint32_t Index = static_cast<uint32_t>(CMethods.size());
+  CMethods.push_back({M, Ctx});
+  CMethodLookup.emplace(Key, Index);
+  return CMethodId(Index);
+}
+
+//===----------------------------------------------------------------------===//
+// Core propagation
+//===----------------------------------------------------------------------===//
+
+bool Solver::passesFilter(ValueId V, TypeId Filter) const {
+  if (!Filter.isValid())
+    return true;
+  return P.isSubtype(valueType(V), Filter);
+}
+
+void Solver::propagate(NodeId N, ValueId V) {
+  if (PointsTo[N.index()].insert(V.rawValue()))
+    Worklist.emplace_back(N, V);
+}
+
+void Solver::addEdge(NodeId From, NodeId To, TypeId Filter) {
+  uint64_t Key = packPair(To.rawValue(), Filter.rawValue());
+  if (!EdgeDedup[From.index()].insert(Key).second)
+    return;
+  Edges[From.index()].push_back({To, Filter});
+  ++SolverStats.EdgesAdded;
+  // Replay the current set through the new edge (snapshot the size; values
+  // added meanwhile flow via the worklist). Re-index every iteration: the
+  // outer tables reallocate when propagation interns new nodes.
+  for (size_t I = 0, E = PointsTo[From.index()].size(); I != E; ++I) {
+    ValueId V(PointsTo[From.index()][I]);
+    if (passesFilter(V, Filter))
+      propagate(To, V);
+  }
+}
+
+void Solver::addReaction(NodeId N, Reaction R) {
+  Reactions[N.index()].push_back(R);
+  for (size_t I = 0, E = PointsTo[N.index()].size(); I != E; ++I)
+    applyReaction(R, ValueId(PointsTo[N.index()][I]));
+}
+
+void Solver::processWorkItem(NodeId N, ValueId V) {
+  // Index loops with per-iteration re-indexing: reactions intern nodes,
+  // which reallocates the outer Edges/Reactions tables. Entries appended to
+  // this node while we run replay existing values themselves, so stopping
+  // at the snapshot size stays sound (duplicates are absorbed by dedup).
+  for (size_t I = 0; I != Edges[N.index()].size(); ++I) {
+    Edge E = Edges[N.index()][I];
+    if (passesFilter(V, E.Filter))
+      propagate(E.Target, V);
+  }
+  for (size_t I = 0; I != Reactions[N.index()].size(); ++I) {
+    Reaction R = Reactions[N.index()][I];
+    ++SolverStats.ReactionsRun;
+    applyReaction(R, V);
+  }
+  if (Nodes[N.index()].Kind == NodeKind::CatchDispatch)
+    dispatchCatch(CMethodId(Nodes[N.index()].A), V);
+}
+
+void Solver::applyReaction(const Reaction &R, ValueId V) {
+  const Statement &S = *R.Stmt;
+  switch (R.RKind) {
+  case Reaction::Kind::LoadBase:
+    addEdge(fieldNode(V, S.FieldRef), varNode(S.Dst, R.Ctx));
+    return;
+  case Reaction::Kind::StoreBase:
+    addEdge(varNode(S.Src, R.Ctx), fieldNode(V, S.FieldRef));
+    return;
+  case Reaction::Kind::ArrayLoadBase:
+    addEdge(arrayNode(V), varNode(S.Dst, R.Ctx));
+    return;
+  case Reaction::Kind::ArrayStoreBase:
+    addEdge(varNode(S.Src, R.Ctx), arrayNode(V));
+    return;
+  case Reaction::Kind::VirtualCall: {
+    MethodId Target = P.resolveVirtual(valueType(V), S.CalleeSignature);
+    if (!Target.isValid())
+      return; // no concrete implementation on this receiver type
+    CtxId CalleeCtx = Ctxs.appendAndTruncate(valueHeapCtx(V), valueSiteId(V),
+                                             Config.ContextDepth);
+    wireCall(S, R.Ctx, R.CallerCM, Target, CalleeCtx, V);
+    return;
+  }
+  case Reaction::Kind::SpecialCall: {
+    // Fixed target, but the callee context is still derived from the
+    // receiver object (object sensitivity analyzes constructors under the
+    // allocated object's context).
+    CtxId CalleeCtx = Ctxs.appendAndTruncate(valueHeapCtx(V), valueSiteId(V),
+                                             Config.ContextDepth);
+    wireCall(S, R.Ctx, R.CallerCM, S.DirectCallee, CalleeCtx, V);
+    return;
+  }
+  }
+}
+
+void Solver::dispatchCatch(CMethodId CM, ValueId V) {
+  const Method &M = P.method(CMethods[CM.index()].M);
+  CtxId Ctx = CMethods[CM.index()].Ctx;
+  for (const CatchClause &Clause : M.Catches) {
+    if (P.isSubtype(valueType(V), Clause.CaughtType)) {
+      propagate(varNode(Clause.Var, Ctx), V);
+      return; // first matching handler catches (Java semantics)
+    }
+  }
+  propagate(throwNode(CM), V); // uncaught: escapes to callers
+}
+
+//===----------------------------------------------------------------------===//
+// Reachability and call wiring
+//===----------------------------------------------------------------------===//
+
+void Solver::makeReachable(MethodId M, CtxId Ctx) {
+  CMethodId CM = internCMethod(M, Ctx);
+  if (!ReachableSet.insert(CM.rawValue()))
+    return;
+  if (M.index() >= MethodReached.size())
+    MethodReached.resize(P.methodCount(), false);
+  MethodReached[M.index()] = true;
+  if (!P.method(M).IsAbstract)
+    processBody(CM);
+}
+
+void Solver::processBody(CMethodId CM) {
+  MethodId MId = CMethods[CM.index()].M;
+  CtxId Ctx = CMethods[CM.index()].Ctx;
+  const Method &M = P.method(MId);
+
+  for (const Statement &S : M.Statements) {
+    switch (S.Op) {
+    case Opcode::Alloc:
+    case Opcode::StringConst: {
+      CtxId HeapCtx = Ctxs.truncate(Ctx, Config.HeapDepth);
+      propagate(varNode(S.Dst, Ctx), internValue(S.Site, HeapCtx));
+      break;
+    }
+    case Opcode::Move:
+      addEdge(varNode(S.Src, Ctx), varNode(S.Dst, Ctx));
+      break;
+    case Opcode::Cast: {
+      NodeId SrcNode = varNode(S.Src, Ctx);
+      addEdge(SrcNode, varNode(S.Dst, Ctx), S.TypeRef);
+      auto [It, Inserted] =
+          CastIndex.emplace(&S, static_cast<uint32_t>(Casts.size()));
+      if (Inserted)
+        Casts.push_back(
+            {S.TypeRef, P.type(M.DeclaringType).IsApplication, {}});
+      Casts[It->second].SourceNodes.push_back(SrcNode);
+      break;
+    }
+    case Opcode::Load:
+      addReaction(varNode(S.Base, Ctx),
+                  {Reaction::Kind::LoadBase, &S, Ctx, CM});
+      break;
+    case Opcode::Store:
+      addReaction(varNode(S.Base, Ctx),
+                  {Reaction::Kind::StoreBase, &S, Ctx, CM});
+      break;
+    case Opcode::ArrayLoad:
+      addReaction(varNode(S.Base, Ctx),
+                  {Reaction::Kind::ArrayLoadBase, &S, Ctx, CM});
+      break;
+    case Opcode::ArrayStore:
+      addReaction(varNode(S.Base, Ctx),
+                  {Reaction::Kind::ArrayStoreBase, &S, Ctx, CM});
+      break;
+    case Opcode::StaticLoad:
+      addEdge(staticNode(S.FieldRef), varNode(S.Dst, Ctx));
+      break;
+    case Opcode::StaticStore:
+      addEdge(varNode(S.Src, Ctx), staticNode(S.FieldRef));
+      break;
+    case Opcode::VirtualCall:
+      addReaction(varNode(S.Base, Ctx),
+                  {Reaction::Kind::VirtualCall, &S, Ctx, CM});
+      break;
+    case Opcode::SpecialCall:
+      addReaction(varNode(S.Base, Ctx),
+                  {Reaction::Kind::SpecialCall, &S, Ctx, CM});
+      break;
+    case Opcode::StaticCall:
+      // Static calls inherit the caller's context (Doop's default).
+      wireCall(S, Ctx, CM, S.DirectCallee, Ctx, ValueId::invalid());
+      break;
+    case Opcode::Return:
+      break; // wired per established call edge
+    case Opcode::Throw:
+      addEdge(varNode(S.Src, Ctx), catchNode(CM));
+      break;
+    }
+  }
+}
+
+void Solver::wireCall(const Statement &S, CtxId CallerCtx, CMethodId CallerCM,
+                      MethodId Callee, CtxId CalleeCtx, ValueId Receiver) {
+  const Method &CalleeM = P.method(Callee);
+  if (CalleeM.IsAbstract)
+    return;
+
+  CMethodId CalleeCM = internCMethod(Callee, CalleeCtx);
+  makeReachable(Callee, CalleeCtx);
+  CallEdges.insert(packPair(S.Invoke.index(), Callee.index()));
+
+  if (Receiver.isValid() && CalleeM.This.isValid())
+    propagate(varNode(CalleeM.This, CalleeCtx), Receiver);
+
+  size_t ArgCount = std::min(S.Args.size(), CalleeM.Params.size());
+  for (size_t I = 0; I != ArgCount; ++I)
+    if (S.Args[I].isValid())
+      addEdge(varNode(S.Args[I], CallerCtx),
+              varNode(CalleeM.Params[I], CalleeCtx));
+
+  if (S.Dst.isValid())
+    for (const Statement &CalleeStmt : CalleeM.Statements)
+      if (CalleeStmt.Op == Opcode::Return && CalleeStmt.Src.isValid())
+        addEdge(varNode(CalleeStmt.Src, CalleeCtx),
+                varNode(S.Dst, CallerCtx));
+
+  // Exceptions escaping the callee reach the caller's catch routing.
+  addEdge(throwNode(CalleeCM), catchNode(CallerCM));
+}
+
+//===----------------------------------------------------------------------===//
+// Seeding and solving
+//===----------------------------------------------------------------------===//
+
+void Solver::seedVar(VarId Var, CtxId Ctx, ValueId V) {
+  propagate(varNode(Var, Ctx), V);
+}
+
+void Solver::seedVarAllContexts(VarId Var, ValueId V) {
+  if (Var.index() >= VarNodes.size())
+    return;
+  const std::vector<NodeId> &Instances = VarNodes[Var.index()];
+  for (size_t I = 0, E = Instances.size(); I != E; ++I)
+    propagate(Instances[I], V);
+}
+
+void Solver::seedObjectField(ValueId Base, FieldId F, ValueId V) {
+  propagate(fieldNode(Base, F), V);
+}
+
+void Solver::drainWorklist() {
+  while (!Worklist.empty()) {
+    auto [N, V] = Worklist.front();
+    Worklist.pop_front();
+    ++SolverStats.WorkItems;
+    processWorkItem(N, V);
+  }
+}
+
+void Solver::solve() {
+  while (true) {
+    drainWorklist();
+    bool Changed = false;
+    for (Plugin *PluginPtr : Plugins)
+      Changed |= PluginPtr->onFixpoint(*this);
+    ++SolverStats.PluginRounds;
+    if (!Changed && Worklist.empty())
+      break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+const std::vector<NodeId> &Solver::varInstances(VarId Var) const {
+  if (Var.index() >= VarNodes.size())
+    return NoInstances;
+  return VarNodes[Var.index()];
+}
+
+std::vector<AllocSiteId> Solver::varPointsToSites(VarId Var) const {
+  InsertOrderSet<uint32_t> Sites;
+  for (NodeId N : varInstances(Var))
+    for (uint32_t Raw : PointsTo[N.index()])
+      Sites.insert(Values[ValueId(Raw).index()].Site.rawValue());
+  std::vector<AllocSiteId> Result;
+  Result.reserve(Sites.size());
+  for (uint32_t Raw : Sites)
+    Result.push_back(AllocSiteId(Raw));
+  return Result;
+}
+
+std::vector<MethodId> Solver::reachableMethods() const {
+  InsertOrderSet<uint32_t> Seen;
+  std::vector<MethodId> Result;
+  for (uint32_t Raw : ReachableSet) {
+    MethodId M = CMethods[Raw].M;
+    if (Seen.insert(M.rawValue()))
+      Result.push_back(M);
+  }
+  return Result;
+}
+
+uint64_t Solver::varPointsToTuples(std::string_view PackagePrefix) const {
+  uint64_t Total = 0;
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Kind != NodeKind::Var)
+      continue;
+    const Variable &Var = P.variable(VarId(Nodes[I].A));
+    TypeId Declaring = P.method(Var.DeclaringMethod).DeclaringType;
+    const std::string &ClassName = P.symbols().text(P.type(Declaring).Name);
+    if (std::string_view(ClassName).substr(0, PackagePrefix.size()) ==
+        PackagePrefix)
+      Total += PointsTo[I].size();
+  }
+  return Total;
+}
+
+uint64_t Solver::varPointsToTuplesTotal() const {
+  uint64_t Total = 0;
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I)
+    if (Nodes[I].Kind == NodeKind::Var)
+      Total += PointsTo[I].size();
+  return Total;
+}
+
+double Solver::averageVarPointsTo(bool AppOnly) const {
+  // Context-insensitive projection per variable, averaged over variables
+  // that point to at least one object.
+  std::unordered_map<uint32_t, InsertOrderSet<uint32_t>> PerVar;
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Kind != NodeKind::Var || PointsTo[I].empty())
+      continue;
+    VarId Var(Nodes[I].A);
+    if (AppOnly) {
+      TypeId Declaring =
+          P.method(P.variable(Var).DeclaringMethod).DeclaringType;
+      if (!P.type(Declaring).IsApplication)
+        continue;
+    }
+    InsertOrderSet<uint32_t> &Sites = PerVar[Var.index()];
+    for (uint32_t Raw : PointsTo[I])
+      Sites.insert(Values[ValueId(Raw).index()].Site.rawValue());
+  }
+  if (PerVar.empty())
+    return 0.0;
+  uint64_t Sum = 0;
+  for (const auto &[VarIndex, Sites] : PerVar)
+    Sum += Sites.size();
+  return static_cast<double>(Sum) / static_cast<double>(PerVar.size());
+}

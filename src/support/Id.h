@@ -1,0 +1,67 @@
+//===- Id.h - Strongly typed dense identifiers ------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP, a reproduction of "Static Analysis of Java Enterprise
+// Applications: Frameworks and Caches, the Elephants in the Room" (PLDI'20).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly typed 32-bit identifiers. Every entity table in the system
+/// (types, methods, fields, variables, abstract objects, contexts, Datalog
+/// values...) hands out a dense `Id<Tag>` so that a plain `std::vector` can
+/// serve as a map keyed by the id, and so that ids of different entity kinds
+/// cannot be mixed up at compile time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_SUPPORT_ID_H
+#define JACKEE_SUPPORT_ID_H
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace jackee {
+
+/// A dense, strongly typed identifier. Default-constructed ids are invalid;
+/// valid ids index into the owning entity table.
+template <typename Tag> class Id {
+public:
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t Index) : Value(Index) {
+    assert(Index != InvalidValue && "index reserved for the invalid id");
+  }
+
+  /// \returns the sentinel invalid id.
+  static constexpr Id invalid() { return Id(); }
+
+  constexpr bool isValid() const { return Value != InvalidValue; }
+
+  /// \returns the dense index; must only be called on valid ids.
+  constexpr uint32_t index() const {
+    assert(isValid() && "indexing with an invalid id");
+    return Value;
+  }
+
+  /// \returns the raw representation, including the invalid sentinel. Useful
+  /// for hashing and serialization.
+  constexpr uint32_t rawValue() const { return Value; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+private:
+  static constexpr uint32_t InvalidValue = ~uint32_t(0);
+
+  uint32_t Value = InvalidValue;
+};
+
+} // namespace jackee
+
+template <typename Tag> struct std::hash<jackee::Id<Tag>> {
+  size_t operator()(jackee::Id<Tag> Id) const noexcept {
+    return std::hash<uint32_t>()(Id.rawValue());
+  }
+};
+
+#endif // JACKEE_SUPPORT_ID_H

@@ -1,0 +1,27 @@
+//===- SymbolTable.cpp ----------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SymbolTable.h"
+
+using namespace jackee;
+
+Symbol SymbolTable::intern(std::string_view Text) {
+  auto It = Lookup.find(Text);
+  if (It != Lookup.end())
+    return Symbol(It->second);
+
+  uint32_t Index = static_cast<uint32_t>(Strings.size());
+  Strings.emplace_back(Text);
+  Lookup.emplace(std::string_view(Strings.back()), Index);
+  return Symbol(Index);
+}
+
+Symbol SymbolTable::lookup(std::string_view Text) const {
+  auto It = Lookup.find(Text);
+  if (It == Lookup.end())
+    return Symbol::invalid();
+  return Symbol(It->second);
+}

@@ -1,0 +1,63 @@
+//===- SymbolTable.h - String interning -------------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String interning. All names in the system (class names, method signatures,
+/// annotation types, XML attribute values, Datalog symbols) are interned once
+/// and referred to by a 32-bit `Symbol`, making equality and hashing O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_SUPPORT_SYMBOLTABLE_H
+#define JACKEE_SUPPORT_SYMBOLTABLE_H
+
+#include "support/Id.h"
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace jackee {
+
+/// An interned string. Symbols are only meaningful relative to the
+/// `SymbolTable` that produced them.
+using Symbol = Id<struct SymbolTag>;
+
+/// Interns strings and hands out dense `Symbol` ids.
+///
+/// Storage is a deque so that the `string_view` keys of the lookup map stay
+/// valid as the table grows.
+class SymbolTable {
+public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable &) = delete;
+  SymbolTable &operator=(const SymbolTable &) = delete;
+
+  /// Interns \p Text, returning the existing symbol if already present.
+  Symbol intern(std::string_view Text);
+
+  /// \returns the symbol for \p Text, or the invalid symbol if it was never
+  /// interned. Never allocates.
+  Symbol lookup(std::string_view Text) const;
+
+  /// \returns the text of \p Sym; the reference stays valid for the lifetime
+  /// of the table.
+  const std::string &text(Symbol Sym) const {
+    assert(Sym.index() < Strings.size() && "foreign symbol");
+    return Strings[Sym.index()];
+  }
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Lookup;
+};
+
+} // namespace jackee
+
+#endif // JACKEE_SUPPORT_SYMBOLTABLE_H

@@ -1,0 +1,858 @@
+//===- SynthApp.cpp -------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/SynthApp.h"
+
+#include <cassert>
+#include <string>
+
+using namespace jackee;
+using namespace jackee::core;
+using namespace jackee::ir;
+using namespace jackee::javalib;
+using namespace jackee::frameworks;
+using namespace jackee::synth;
+
+namespace {
+
+/// Builds one synthetic application into a program.
+class SynthBuilder {
+public:
+  SynthBuilder(Program &P, const JavaLib &L, const FrameworkLib &F,
+               const SynthProfile &Prof)
+      : P(P), L(L), F(F), Prof(Prof) {
+    WiredServices =
+        std::max<uint32_t>(1, Prof.Services * Prof.WiredServicePercent / 100);
+  }
+
+  std::vector<std::pair<std::string, std::string>> build() {
+    buildCacheManager();
+    buildEntities();
+    buildRepositories();
+    buildConsumers();
+    buildServices();
+    buildControllers();
+    buildServlets();
+    buildRestResources();
+    buildStrutsActions();
+    buildXmlComponents();
+    buildFilters();
+    buildDeadClasses();
+    return makeConfigs();
+  }
+
+private:
+  TypeId appClass(const std::string &Name, TypeId Super,
+                  std::vector<TypeId> Ifaces = {}) {
+    return P.addClass(Name, TypeKind::Class, Super, std::move(Ifaces),
+                      /*IsAbstract=*/false, /*IsApplication=*/true);
+  }
+
+  std::string num(uint32_t I) const { return std::to_string(I); }
+
+  /// Which entity/repository/wired-service an index-based user references.
+  uint32_t entityFor(uint32_t I) const { return I % Prof.Entities; }
+  uint32_t repoFor(uint32_t I) const { return I % Prof.Repositories; }
+  uint32_t wiredServiceFor(uint32_t I) const { return I % WiredServices; }
+
+  // --- The central heterogeneous cache (paper Section 4's cost driver) ---
+
+  void buildCacheManager() {
+    CacheManager = appClass("app.cache.CacheManager", L.Object);
+    FieldId Global =
+        P.addField(CacheManager, "GLOBAL", L.Map, /*IsStatic=*/true);
+    {
+      // static Map cache(): lazily allocate the global ConcurrentHashMap.
+      MethodBuilder MB = P.addMethod(CacheManager, "cache", {}, L.Map,
+                                     /*IsStatic=*/true);
+      CacheFn = MB.id();
+      VarId M = MB.local("m", L.Map);
+      VarId Fresh = MB.local("fresh", L.ConcurrentHashMap);
+      MB.staticLoad(M, Global)
+          .ret(M)
+          .alloc(Fresh, L.ConcurrentHashMap)
+          .specialCall(VarId::invalid(), Fresh, L.ConcurrentHashMapInit, {})
+          .staticStore(Global, Fresh)
+          .ret(Fresh);
+    }
+    {
+      MethodBuilder MB = P.addMethod(CacheManager, "put",
+                                     {L.Object, L.Object}, TypeId::invalid(),
+                                     /*IsStatic=*/true);
+      CachePut = MB.id();
+      VarId C = MB.local("c", L.Map);
+      MB.staticCall(C, CacheFn, {})
+          .virtualCall(VarId::invalid(), C, "put", {L.Object, L.Object},
+                       {MB.param(0), MB.param(1)});
+    }
+    {
+      MethodBuilder MB = P.addMethod(CacheManager, "get", {L.Object},
+                                     L.Object, /*IsStatic=*/true);
+      CacheGet = MB.id();
+      VarId C = MB.local("c", L.Map);
+      VarId R = MB.local("r", L.Object);
+      MB.staticCall(C, CacheFn, {})
+          .virtualCall(R, C, "get", {L.Object}, {MB.param(0)})
+          .ret(R);
+    }
+    {
+      // snapshot(): the identity-map pattern — copy the whole cache into a
+      // fresh HashMap (putAll drives heavy value recycling in the original
+      // library model).
+      MethodBuilder MB = P.addMethod(CacheManager, "snapshot", {}, L.Map,
+                                     /*IsStatic=*/true);
+      CacheSnapshot = MB.id();
+      VarId C = MB.local("c", L.Map);
+      VarId Copy = MB.local("copy", L.HashMap);
+      MB.staticCall(C, CacheFn, {})
+          .alloc(Copy, L.HashMap)
+          .specialCall(VarId::invalid(), Copy, L.HashMapInit, {})
+          .virtualCall(VarId::invalid(), Copy, "putAll", {L.Map}, {C})
+          .ret(Copy);
+    }
+  }
+
+  // --- Domain model -------------------------------------------------------
+
+  void buildEntities() {
+    // EntityBase is the supertype through which handlers and consumers
+    // dispatch getName(): each Entity subclass overrides it, so dispatch
+    // sites on cache-returned values are genuinely polymorphic and their
+    // target counts track analysis precision.
+    EntityBase = appClass("app.domain.EntityBase", L.Object);
+    EntityName = P.addField(EntityBase, "name", L.String);
+    {
+      MethodBuilder MB = P.addMethod(EntityBase, "getName", {}, L.String);
+      VarId S = MB.local("s", L.String);
+      MB.load(S, MB.thisVar(), EntityName).ret(S);
+    }
+    {
+      MethodBuilder MB =
+          P.addMethod(EntityBase, "setName", {L.String}, TypeId::invalid());
+      MB.store(MB.thisVar(), EntityName, MB.param(0));
+    }
+    for (uint32_t I = 0; I != Prof.Entities; ++I) {
+      TypeId E = appClass("app.domain.Entity" + num(I), EntityBase);
+      Entities.push_back(E);
+      EntityInits.push_back([&] {
+        MethodBuilder MB = P.addMethod(E, "<init>", {}, TypeId::invalid());
+        VarId S = MB.local("s", L.String);
+        MB.stringConst(S, "entity" + num(I))
+            .store(MB.thisVar(), EntityName, S);
+        return MB.id();
+      }());
+      {
+        MethodBuilder MB = P.addMethod(E, "getName", {}, L.String);
+        VarId S = MB.local("s", L.String);
+        MB.load(S, MB.thisVar(), EntityName).ret(S);
+      }
+    }
+  }
+
+  void buildRepositories() {
+    for (uint32_t I = 0; I != Prof.Repositories; ++I) {
+      TypeId R = appClass("app.repo.Repository" + num(I), L.Object);
+      Repositories.push_back(R);
+      if (Prof.AnnotationBeans)
+        P.annotateType(R, "org.springframework.stereotype.@Repository");
+      FieldId Cache = P.addField(R, "cache", L.Map);
+
+      // Rotate the backing map class: the paper rewrites all three.
+      TypeId MapCls = I % 3 == 0   ? L.HashMap
+                      : I % 3 == 1 ? L.ConcurrentHashMap
+                                   : L.LinkedHashMap;
+      MethodId MapInit = I % 3 == 0   ? L.HashMapInit
+                         : I % 3 == 1 ? L.ConcurrentHashMapInit
+                                      : L.LinkedHashMapInit;
+      RepositoryInits.push_back([&] {
+        MethodBuilder MB = P.addMethod(R, "<init>", {}, TypeId::invalid());
+        VarId M = MB.local("m", MapCls);
+        MB.alloc(M, MapCls)
+            .specialCall(VarId::invalid(), M, MapInit, {})
+            .store(MB.thisVar(), Cache, M);
+        return MB.id();
+      }());
+      {
+        MethodBuilder MB =
+            P.addMethod(R, "save", {L.Object}, TypeId::invalid());
+        VarId C = MB.local("c", L.Map);
+        VarId K = MB.local("k", L.String);
+        MB.load(C, MB.thisVar(), Cache)
+            .stringConst(K, "repo" + num(I) + "-key")
+            .virtualCall(VarId::invalid(), C, "put", {L.Object, L.Object},
+                         {K, MB.param(0)})
+            .staticCall(VarId::invalid(), CachePut, {K, MB.param(0)});
+      }
+      {
+        MethodBuilder MB = P.addMethod(R, "findById", {L.Object}, L.Object);
+        VarId C = MB.local("c", L.Map);
+        VarId V = MB.local("v", L.Object);
+        VarId D = MB.local("d", L.Object);
+        MB.load(C, MB.thisVar(), Cache)
+            .virtualCall(V, C, "get", {L.Object}, {MB.param(0)})
+            .virtualCall(D, C, "getOrDefault", {L.Object, L.Object},
+                         {MB.param(0), MB.param(0)})
+            .ret(V)
+            .ret(D);
+      }
+      {
+        MethodBuilder MB =
+            P.addMethod(R, "evict", {L.Object}, L.Object);
+        VarId C = MB.local("c", L.Map);
+        VarId V = MB.local("v", L.Object);
+        MB.load(C, MB.thisVar(), Cache)
+            .virtualCall(V, C, "remove", {L.Object}, {MB.param(0)})
+            .ret(V);
+      }
+      {
+        MethodBuilder MB = P.addMethod(R, "findAll", {}, L.List);
+        VarId Lst = MB.local("lst", L.ArrayList);
+        VarId C = MB.local("c", L.Map);
+        VarId Vs = MB.local("vs", L.Collection);
+        VarId It = MB.local("it", L.Iterator);
+        VarId E = MB.local("e", L.Object);
+        MB.alloc(Lst, L.ArrayList)
+            .specialCall(VarId::invalid(), Lst, L.ArrayListInit, {})
+            .load(C, MB.thisVar(), Cache)
+            .virtualCall(Vs, C, "values", {}, {})
+            .virtualCall(It, Vs, "iterator", {}, {})
+            .virtualCall(E, It, "next", {}, {})
+            .virtualCall(VarId::invalid(), Lst, "add", {L.Object}, {E})
+            .ret(Lst);
+      }
+    }
+  }
+
+  void buildConsumers() {
+    for (uint32_t I = 0; I != Prof.Services; ++I) {
+      // A Function per service, for computeIfAbsent-style lazy caching.
+      TypeId Fac = appClass("app.view.EntityFactory" + num(I), L.Object,
+                            {L.Function});
+      Factories.push_back(Fac);
+      FactoryInits.push_back(
+          P.addMethod(Fac, "<init>", {}, TypeId::invalid()).id());
+      {
+        MethodBuilder MB = P.addMethod(Fac, "apply", {L.Object}, L.Object);
+        uint32_t EIdx = entityFor(I);
+        VarId E = MB.local("e", Entities[EIdx]);
+        MB.alloc(E, Entities[EIdx])
+            .specialCall(VarId::invalid(), E, EntityInits[EIdx], {})
+            .ret(E);
+      }
+
+      TypeId C = appClass("app.view.ViewConsumer" + num(I), L.Object,
+                          {L.Consumer});
+      Consumers.push_back(C);
+      ConsumerInits.push_back(
+          P.addMethod(C, "<init>", {}, TypeId::invalid()).id());
+      MethodBuilder MB =
+          P.addMethod(C, "accept", {L.Object}, TypeId::invalid());
+      VarId E = MB.local("e", EntityBase);
+      VarId S = MB.local("s", L.String);
+      MB.cast(E, EntityBase, MB.param(0))
+          .virtualCall(S, E, "getName", {}, {});
+    }
+  }
+
+  void buildServices() {
+    for (uint32_t I = 0; I != Prof.Services; ++I) {
+      TypeId S = appClass("app.service.Service" + num(I), L.Object);
+      Services.push_back(S);
+      if (Prof.AnnotationBeans)
+        P.annotateType(S, "org.springframework.stereotype.@Service");
+      TypeId RepoTy = Repositories[repoFor(I)];
+      FieldId RepoF = P.addField(S, "repo", RepoTy);
+      if (Prof.AnnotationBeans)
+        P.annotateField(
+            RepoF, "org.springframework.beans.factory.annotation.@Autowired");
+
+      FieldId SessionF = P.addField(S, "session", L.Map);
+      FieldId IndexF = P.addField(S, "index", L.Set);
+      {
+        // Constructor also allocates a default repository (common in real
+        // services), so directly constructed services still function, plus
+        // a private per-service session cache (its own map site).
+        MethodBuilder MB = P.addMethod(S, "<init>", {}, TypeId::invalid());
+        VarId R = MB.local("r", RepoTy);
+        VarId Sess = MB.local("sess", L.HashMap);
+        VarId Idx = MB.local("idx", L.Set);
+        MB.alloc(R, RepoTy)
+            .specialCall(VarId::invalid(), R, RepositoryInits[repoFor(I)], {})
+            .store(MB.thisVar(), RepoF, R)
+            .alloc(Sess, L.HashMap)
+            .specialCall(VarId::invalid(), Sess, L.HashMapInit, {})
+            .store(MB.thisVar(), SessionF, Sess)
+            .alloc(Idx, I % 2 == 0 ? L.HashSet : L.LinkedHashSet)
+            .specialCall(VarId::invalid(), Idx,
+                         P.findMethod(I % 2 == 0 ? L.HashSet
+                                                 : L.LinkedHashSet,
+                                      "<init>", {}),
+                         {})
+            .store(MB.thisVar(), IndexF, Idx);
+      }
+
+      TypeId ETy = Entities[entityFor(I)];
+      // Helper chain: helper0 -> ... -> helperD; the last one iterates the
+      // repository and walks the central cache with a Consumer.
+      for (uint32_t D = 0; D <= Prof.HelperDepth; ++D) {
+        MethodBuilder MB =
+            P.addMethod(S, "helper" + num(D), {L.Object}, L.Object);
+        if (D < Prof.HelperDepth) {
+          VarId R = MB.local("r", L.Object);
+          MB.virtualCall(R, MB.thisVar(), "helper" + num(D + 1), {L.Object},
+                         {MB.param(0)})
+              .ret(R);
+          continue;
+        }
+        VarId Repo = MB.local("repo", RepoTy);
+        VarId Lst = MB.local("lst", L.List);
+        VarId It = MB.local("it", L.Iterator);
+        VarId X = MB.local("x", L.Object);
+        VarId Cons = MB.local("cons", Consumers[I]);
+        VarId C = MB.local("c", L.Map);
+        VarId Ks = MB.local("ks", L.Set);
+        VarId Es = MB.local("es", L.Set);
+        VarId EsIt = MB.local("esit", L.Iterator);
+        VarId En = MB.local("en", L.Object);
+        VarId Me = MB.local("me", L.MapEntry);
+        VarId Mk = MB.local("mk", L.Object);
+        VarId Mv = MB.local("mv", L.Object);
+        VarId Ve = MB.local("ve", EntityBase);
+        VarId Vn = MB.local("vn", L.String);
+        MB.load(Repo, MB.thisVar(), RepoF)
+            .virtualCall(Lst, Repo, "findAll", {}, {})
+            .virtualCall(It, Lst, "iterator", {}, {})
+            .virtualCall(X, It, "next", {}, {})
+            .alloc(Cons, Consumers[I])
+            .specialCall(VarId::invalid(), Cons, ConsumerInits[I], {})
+            .staticCall(C, CacheFn, {})
+            .virtualCall(Ks, C, "keySet", {}, {})
+            .virtualCall(VarId::invalid(), Ks, "forEach", {L.Consumer},
+                         {Cons})
+            // Walk the heterogeneous central cache: entry iteration, entry
+            // accessors, and a polymorphic dispatch on the cached value.
+            .virtualCall(Es, C, "entrySet", {}, {})
+            .virtualCall(EsIt, Es, "iterator", {}, {})
+            .virtualCall(En, EsIt, "next", {}, {})
+            .cast(Me, L.MapEntry, En)
+            .virtualCall(Mk, Me, "getKey", {}, {})
+            .virtualCall(Mv, Me, "getValue", {}, {})
+            .cast(Ve, EntityBase, Mv)
+            .virtualCall(Vn, Ve, "getName", {}, {})
+            .ret(X);
+        VarId Snap = MB.local("snap", L.Map);
+        VarId SnapV = MB.local("snapv", L.Object);
+        VarId Evicted = MB.local("evicted", L.Object);
+        VarId Sess = MB.local("sess", L.Map);
+        VarId SessV = MB.local("sessv", L.Object);
+        VarId SessOld = MB.local("sessold", L.Object);
+        MB.staticCall(Snap, CacheSnapshot, {})
+            .virtualCall(SnapV, Snap, "get", {L.Object}, {X})
+            .virtualCall(Evicted, Repo, "evict", {L.Object}, {X})
+            // Session-cache round trip: put/get/computeIfAbsent on the
+            // service's private map.
+            .load(Sess, MB.thisVar(), SessionF)
+            .virtualCall(SessOld, Sess, "put", {L.Object, L.Object},
+                         {X, X})
+            .virtualCall(SessV, Sess, "get", {L.Object}, {X});
+        VarId Fac = MB.local("fac", Factories[I]);
+        VarId Lazy = MB.local("lazy", L.Object);
+        VarId Lazy2 = MB.local("lazy2", L.Object);
+        MB.alloc(Fac, Factories[I])
+            .specialCall(VarId::invalid(), Fac, FactoryInits[I], {})
+            .virtualCall(Lazy, Sess, "computeIfAbsent",
+                         {L.Object, L.Function}, {X, Fac})
+            .virtualCall(Lazy2, C, "computeIfAbsent",
+                         {L.Object, L.Function}, {X, Fac});
+        (void)Lazy;
+        (void)Lazy2;
+        (void)SnapV;
+        (void)Evicted;
+        (void)Mk;
+      }
+      {
+        MethodBuilder MB = P.addMethod(S, "process", {}, L.Object);
+        VarId Repo = MB.local("repo", RepoTy);
+        MB.load(Repo, MB.thisVar(), RepoF);
+        VarId FirstE;
+        // Each service feeds three entity types through its repository and
+        // the central cache — the heterogeneous-cache pattern of Section 4.
+        for (uint32_t J = 0; J != 3; ++J) {
+          uint32_t EIdx = entityFor(I + J);
+          VarId E = MB.local("e" + num(J), Entities[EIdx]);
+          VarId K = MB.local("k" + num(J), L.String);
+          MB.alloc(E, Entities[EIdx])
+              .specialCall(VarId::invalid(), E, EntityInits[EIdx], {})
+              .stringConst(K, "svc" + num(I) + "-key" + num(J))
+              .virtualCall(VarId::invalid(), Repo, "save", {L.Object}, {E})
+              .staticCall(VarId::invalid(), CachePut, {K, E});
+          if (J == 0) {
+            VarId Idx = MB.local("idx", L.Set);
+            VarId IdxIt = MB.local("idxit", L.Iterator);
+            VarId IdxV = MB.local("idxv", L.Object);
+            MB.load(Idx, MB.thisVar(), IndexF)
+                .virtualCall(VarId::invalid(), Idx, "add", {L.Object}, {E})
+                .virtualCall(IdxIt, Idx, "iterator", {}, {})
+                .virtualCall(IdxV, IdxIt, "next", {}, {});
+            (void)IdxV;
+          }
+          if (J == 0)
+            FirstE = E;
+        }
+        VarId Found = MB.local("found", L.Object);
+        VarId FoundE = MB.local("founde", EntityBase);
+        VarId FoundN = MB.local("foundn", L.String);
+        VarId H = MB.local("h", L.Object);
+        MB.virtualCall(Found, Repo, "findById", {L.Object}, {FirstE})
+            .cast(FoundE, EntityBase, Found)
+            .virtualCall(FoundN, FoundE, "getName", {}, {})
+            .virtualCall(H, MB.thisVar(), "helper0", {L.Object}, {FirstE})
+            .ret(H);
+        (void)ETy;
+      }
+    }
+  }
+
+  /// Emits the canonical handler body: parameter read, service call,
+  /// central-cache traffic, view cast.
+  void handlerBody(MethodBuilder &MB, VarId Req, uint32_t ServiceIdx,
+                   const std::string &Tag) {
+    TypeId SvcTy = Services[ServiceIdx];
+    TypeId ETy = Entities[entityFor(ServiceIdx)];
+    VarId Name = MB.local(Tag + "_name", L.String);
+    VarId Param = MB.local(Tag + "_param", L.String);
+    VarId Svc = MB.local(Tag + "_svc", SvcTy);
+    VarId R = MB.local(Tag + "_r", L.Object);
+    VarId V = MB.local(Tag + "_v", L.Object);
+    VarId VE = MB.local(Tag + "_ve", EntityBase);
+    VarId VN = MB.local(Tag + "_vn", L.String);
+    MB.stringConst(Name, Tag);
+    if (Req.isValid())
+      MB.virtualCall(Param, Req, "getParameter", {L.String}, {Name});
+    VarId Snap = MB.local(Tag + "_snap", L.Map);
+    VarId SnapV = MB.local(Tag + "_snapv", L.Object);
+    MB.load(Svc, MB.thisVar(), ServiceFieldOf.at(MB.id().rawValue()))
+        .virtualCall(R, Svc, "process", {}, {})
+        .staticCall(VarId::invalid(), CachePut, {Name, R})
+        .staticCall(V, CacheGet, {Name})
+        .cast(VE, EntityBase, V)
+        .virtualCall(VN, VE, "getName", {}, {})
+        .staticCall(Snap, CacheSnapshot, {})
+        .virtualCall(SnapV, Snap, "get", {L.Object}, {Name});
+    (void)SnapV;
+    (void)Param;
+    (void)ETy;
+  }
+
+  void buildControllers() {
+    for (uint32_t I = 0; I != Prof.Controllers; ++I) {
+      TypeId C = appClass("app.web.Controller" + num(I), L.Object);
+      P.annotateType(C, "org.springframework.stereotype.@Controller");
+      uint32_t SvcIdx = wiredServiceFor(I);
+      TypeId SvcTy = Services[SvcIdx];
+      FieldId SvcF = P.addField(C, "svc", SvcTy);
+      if (Prof.AnnotationBeans)
+        P.annotateField(
+            SvcF, "org.springframework.beans.factory.annotation.@Autowired");
+      P.addMethod(C, "<init>", {}, TypeId::invalid());
+
+      for (uint32_t Hn = 0; Hn != 2; ++Hn) {
+        MethodBuilder MB = P.addMethod(
+            C, Hn == 0 ? "handleGet" : "handlePost", {F.HttpServletRequest},
+            L.Object);
+        P.annotateMethod(
+            MB.id(), Hn == 0
+                         ? "org.springframework.web.bind.annotation.@GetMapping"
+                         : "org.springframework.web.bind.annotation."
+                           "@PostMapping");
+        ServiceFieldOf[MB.id().rawValue()] = SvcF;
+        handlerBody(MB, MB.param(0), SvcIdx,
+                    "ctl" + num(I) + "h" + num(Hn));
+        VarId Out = MB.local("out", L.Object);
+        MB.move(Out, MB.param(0)).ret(Out);
+      }
+      if (Prof.XmlBeans)
+        XmlServiceWiring.emplace_back("app.web.Controller" + num(I), "svc",
+                                      "service" + num(SvcIdx));
+    }
+    if (Prof.Controllers > 0)
+      buildInterceptorAndAuthProvider();
+  }
+
+  void buildInterceptorAndAuthProvider() {
+    TypeId Itc = appClass("app.web.AuditInterceptor",
+                          F.HandlerInterceptorAdapter);
+    P.addMethod(Itc, "<init>", {}, TypeId::invalid());
+    {
+      MethodBuilder MB = P.addMethod(
+          Itc, "preHandle",
+          {F.HttpServletRequest, F.HttpServletResponse, L.Object},
+          P.findType("boolean"));
+      VarId Name = MB.local("n", L.String);
+      VarId V = MB.local("v", L.String);
+      MB.stringConst(Name, "audit").virtualCall(
+          V, MB.param(0), "getParameter", {L.String}, {Name});
+    }
+
+    TypeId Prov = appClass("app.security.TokenAuthenticationProvider",
+                           L.Object, {F.AuthenticationProvider});
+    P.addMethod(Prov, "<init>", {}, TypeId::invalid());
+    {
+      MethodBuilder MB = P.addMethod(Prov, "authenticate",
+                                     {F.Authentication}, F.Authentication);
+      VarId Pr = MB.local("p", L.Object);
+      MB.virtualCall(Pr, MB.param(0), "getPrincipal", {}, {})
+          .staticCall(VarId::invalid(), CachePut, {Pr, Pr})
+          .ret(MB.param(0));
+    }
+    HaveAuthProvider = true;
+  }
+
+  void buildServlets() {
+    for (uint32_t I = 0; I != Prof.Servlets; ++I) {
+      TypeId S = appClass("app.web.Servlet" + num(I), F.HttpServlet);
+      ServletNames.push_back("app.web.Servlet" + num(I));
+      uint32_t SvcIdx = wiredServiceFor(I + 1);
+      TypeId SvcTy = Services[SvcIdx];
+      MethodBuilder MB = P.addMethod(
+          S, "doGet", {F.HttpServletRequest, F.HttpServletResponse},
+          TypeId::invalid());
+      VarId Svc = MB.local("svc", SvcTy);
+      if (Prof.UsesGetBean && I % 2 == 0) {
+        VarId Ctx = MB.local("ctx", F.ClassPathXmlApplicationContext);
+        VarId Name = MB.local("name", L.String);
+        VarId Obj = MB.local("obj", L.Object);
+        MB.alloc(Ctx, F.ClassPathXmlApplicationContext)
+            .stringConst(Name, "service" + num(SvcIdx))
+            .virtualCall(Obj, Ctx, "getBean", {L.String}, {Name})
+            .cast(Svc, SvcTy, Obj);
+      } else {
+        MB.alloc(Svc, SvcTy)
+            .specialCall(VarId::invalid(), Svc,
+                         P.findMethod(SvcTy, "<init>", {}), {});
+      }
+      VarId R = MB.local("r", L.Object);
+      MB.virtualCall(R, Svc, "process", {}, {})
+          .staticCall(VarId::invalid(), CachePut, {R, R});
+    }
+  }
+
+  void buildRestResources() {
+    for (uint32_t I = 0; I != Prof.RestResources; ++I) {
+      TypeId R = appClass("app.rest.Resource" + num(I), L.Object);
+      P.addMethod(R, "<init>", {}, TypeId::invalid());
+      uint32_t SvcIdx = wiredServiceFor(I + 2);
+      TypeId SvcTy = Services[SvcIdx];
+      MethodBuilder MB = P.addMethod(R, "list", {}, L.Object);
+      P.annotateMethod(MB.id(), "javax.ws.rs.@GET");
+      VarId Svc = MB.local("svc", SvcTy);
+      VarId Out = MB.local("out", L.Object);
+      MB.alloc(Svc, SvcTy)
+          .specialCall(VarId::invalid(), Svc,
+                       P.findMethod(SvcTy, "<init>", {}), {})
+          .virtualCall(Out, Svc, "process", {}, {})
+          .ret(Out);
+    }
+  }
+
+  void buildStrutsActions() {
+    for (uint32_t I = 0; I != Prof.StrutsActions; ++I) {
+      TypeId A =
+          appClass("app.action.Action" + num(I), F.StrutsActionSupport);
+      P.addMethod(A, "<init>", {}, TypeId::invalid());
+      uint32_t SvcIdx = wiredServiceFor(I + 3);
+      TypeId SvcTy = Services[SvcIdx];
+      MethodBuilder MB = P.addMethod(A, "execute", {}, L.String);
+      VarId Svc = MB.local("svc", SvcTy);
+      VarId Out = MB.local("out", L.String);
+      MB.alloc(Svc, SvcTy)
+          .specialCall(VarId::invalid(), Svc,
+                       P.findMethod(SvcTy, "<init>", {}), {})
+          .virtualCall(VarId::invalid(), Svc, "process", {}, {})
+          .stringConst(Out, "success")
+          .ret(Out);
+    }
+  }
+
+  void buildXmlComponents() {
+    for (uint32_t I = 0; I != Prof.XmlComponents; ++I) {
+      TypeId C = appClass("app.xml.Component" + num(I), L.Object);
+      XmlComponentNames.push_back("app.xml.Component" + num(I));
+      P.addMethod(C, "<init>", {}, TypeId::invalid());
+      uint32_t RepoIdx = repoFor(I);
+      TypeId RepoTy = Repositories[RepoIdx];
+      FieldId RepoF = P.addField(C, "repo", RepoTy);
+      XmlRepoWiring.emplace_back("app.xml.Component" + num(I), "repo",
+                                 "repository" + num(RepoIdx));
+      MethodBuilder MB = P.addMethod(C, "onEvent", {F.ServletRequest},
+                                     TypeId::invalid());
+      TypeId ETy = Entities[entityFor(I)];
+      VarId Repo = MB.local("repo", RepoTy);
+      VarId Lst = MB.local("lst", L.List);
+      VarId It = MB.local("it", L.Iterator);
+      VarId X = MB.local("x", L.Object);
+      VarId XE = MB.local("xe", ETy);
+      MB.load(Repo, MB.thisVar(), RepoF)
+          .virtualCall(Lst, Repo, "findAll", {}, {})
+          .virtualCall(It, Lst, "iterator", {}, {})
+          .virtualCall(X, It, "next", {}, {})
+          .cast(XE, ETy, X);
+    }
+  }
+
+  void buildFilters() {
+    for (uint32_t I = 0; I != Prof.Filters; ++I) {
+      TypeId Flt = appClass("app.web.Filter" + num(I), L.Object, {F.Filter});
+      P.addMethod(Flt, "<init>", {}, TypeId::invalid());
+      MethodBuilder MB = P.addMethod(
+          Flt, "doFilter",
+          {F.ServletRequest, F.ServletResponse, F.FilterChain},
+          TypeId::invalid());
+      MB.virtualCall(VarId::invalid(), MB.param(2), "doFilter",
+                     {F.ServletRequest, F.ServletResponse},
+                     {MB.param(0), MB.param(1)});
+    }
+  }
+
+  void buildDeadClasses() {
+    for (uint32_t I = 0; I != Prof.DeadClasses; ++I) {
+      TypeId D = appClass("app.dead.Dead" + num(I), L.Object);
+      MethodBuilder M0 = P.addMethod(D, "m0", {}, TypeId::invalid());
+      M0.virtualCall(VarId::invalid(), M0.thisVar(), "m1", {}, {});
+      MethodBuilder M1 = P.addMethod(D, "m1", {}, TypeId::invalid());
+      M1.virtualCall(VarId::invalid(), M1.thisVar(), "m2", {}, {});
+      MethodBuilder M2 = P.addMethod(D, "m2", {}, L.Object);
+      VarId M = M2.local("m", L.HashMap);
+      VarId V = M2.local("v", L.Object);
+      M2.alloc(M, L.HashMap)
+          .specialCall(VarId::invalid(), M, L.HashMapInit, {})
+          .virtualCall(V, M, "get", {L.Object}, {M})
+          .ret(V);
+    }
+  }
+
+  std::vector<std::pair<std::string, std::string>> makeConfigs() {
+    std::vector<std::pair<std::string, std::string>> Configs;
+
+    if (Prof.XmlBeans) {
+      std::string Beans = "<beans>\n";
+      for (uint32_t I = 0; I != Prof.Repositories; ++I)
+        Beans += "  <bean id=\"repository" + num(I) +
+                 "\" class=\"app.repo.Repository" + num(I) + "\"/>\n";
+      for (uint32_t I = 0; I != Prof.Services; ++I)
+        Beans += "  <bean id=\"service" + num(I) +
+                 "\" class=\"app.service.Service" + num(I) +
+                 "\">\n    <property name=\"repo\" ref=\"repository" +
+                 num(repoFor(I)) + "\"/>\n  </bean>\n";
+      for (const auto &[Cls, Field, Ref] : XmlServiceWiring)
+        Beans += "  <bean class=\"" + Cls + "\">\n    <property name=\"" +
+                 Field + "\" ref=\"" + Ref + "\"/>\n  </bean>\n";
+      for (const auto &[Cls, Field, Ref] : XmlRepoWiring)
+        Beans += "  <bean id=\"" + Cls + "Bean\" class=\"" + Cls +
+                 "\">\n    <property name=\"" + Field + "\" ref=\"" + Ref +
+                 "\"/>\n  </bean>\n";
+      if (HaveAuthProvider) {
+        Beans += "  <bean id=\"tokenAuthenticationProvider\" "
+                 "class=\"app.security.TokenAuthenticationProvider\"/>\n";
+        Beans += "  <authentication-manager>\n    <authentication-provider "
+                 "ref=\"tokenAuthenticationProvider\"/>\n"
+                 "  </authentication-manager>\n";
+      }
+      Beans += "</beans>\n";
+      Configs.emplace_back("beans.xml", Beans);
+    } else if (!XmlRepoWiring.empty()) {
+      // Annotation-driven apps may still have a small XML remnant for the
+      // XML components.
+      std::string Beans = "<beans>\n";
+      for (uint32_t I = 0; I != Prof.Repositories; ++I)
+        Beans += "  <bean id=\"repository" + num(I) +
+                 "\" class=\"app.repo.Repository" + num(I) + "\"/>\n";
+      for (const auto &[Cls, Field, Ref] : XmlRepoWiring)
+        Beans += "  <bean id=\"" + Cls + "Bean\" class=\"" + Cls +
+                 "\">\n    <property name=\"" + Field + "\" ref=\"" + Ref +
+                 "\"/>\n  </bean>\n";
+      Beans += "</beans>\n";
+      Configs.emplace_back("beans.xml", Beans);
+    }
+
+    if (!ServletNames.empty() || !XmlComponentNames.empty()) {
+      std::string Web = "<web-app>\n";
+      for (const std::string &Name : ServletNames)
+        Web += "  <servlet>\n    <servlet-class>" + Name +
+               "</servlet-class>\n  </servlet>\n";
+      for (const std::string &Name : XmlComponentNames)
+        Web += "  <listener>\n    <listener-class>" + Name +
+               "</listener-class>\n  </listener>\n";
+      Web += "</web-app>\n";
+      Configs.emplace_back("web.xml", Web);
+    }
+
+    if (Prof.StrutsActions > 0) {
+      std::string Struts = "<struts>\n";
+      for (uint32_t I = 0; I != Prof.StrutsActions; ++I)
+        Struts += "  <action name=\"action" + num(I) +
+                  "\" class=\"app.action.Action" + num(I) + "\"/>\n";
+      Struts += "</struts>\n";
+      Configs.emplace_back("struts.xml", Struts);
+    }
+    return Configs;
+  }
+
+  Program &P;
+  const JavaLib &L;
+  const FrameworkLib &F;
+  const SynthProfile &Prof;
+  uint32_t WiredServices;
+
+  TypeId CacheManager;
+  TypeId EntityBase;
+  FieldId EntityName;
+  MethodId CacheFn, CachePut, CacheGet, CacheSnapshot;
+  std::vector<TypeId> Entities, Repositories, Services, Consumers, Factories;
+  std::vector<MethodId> EntityInits, RepositoryInits, ConsumerInits, FactoryInits;
+  std::unordered_map<uint32_t, FieldId> ServiceFieldOf; // handler -> field
+  std::vector<std::tuple<std::string, std::string, std::string>>
+      XmlServiceWiring, XmlRepoWiring;
+  std::vector<std::string> ServletNames, XmlComponentNames;
+  bool HaveAuthProvider = false;
+};
+
+const SynthProfile Profiles[] = {
+    // Name, Ent, Rep, Svc, Ctl, Srv, Rest, Str, XmlC, Flt, Dead, Depth,
+    // Wired%, annB, xmlB, getBean
+    {"alfresco", 280, 60, 150, 0, 0, 80, 0, 64, 6, 150, 4, 50, false, true,
+     false},
+    {"bitbucket", 40, 10, 24, 14, 4, 8, 0, 0, 4, 14, 4, 70, true, false,
+     true},
+    {"dotCMS", 170, 40, 100, 22, 40, 0, 48, 22, 6, 84, 4, 60, true, true,
+     true},
+    {"opencms", 56, 14, 32, 0, 30, 0, 0, 10, 4, 24, 4, 65, false, true,
+     true},
+    {"pybbs", 18, 4, 12, 10, 0, 0, 0, 0, 0, 7, 3, 60, true, false, false},
+    {"shopizer", 48, 12, 28, 18, 0, 8, 0, 6, 2, 20, 4, 65, true, true,
+     false},
+    {"SpringBlog", 14, 4, 9, 7, 0, 0, 0, 0, 1, 4, 3, 75, true, false,
+     false},
+    {"WebGoat", 13, 4, 9, 0, 13, 0, 0, 0, 2, 4, 3, 75, true, false, true},
+};
+
+} // namespace
+
+const SynthProfile &jackee::synth::profileFor(BenchApp App) {
+  return Profiles[static_cast<int>(App)];
+}
+
+Application jackee::synth::applicationFor(BenchApp App) {
+  return applicationForProfile(profileFor(App));
+}
+
+Application jackee::synth::applicationForProfile(const SynthProfile &Prof) {
+  Application A;
+  A.Name = Prof.Name;
+  A.Populate = [&Prof](Program &P, const JavaLib &L, const FrameworkLib &F) {
+    return SynthBuilder(P, L, F, Prof).build();
+  };
+  return A;
+}
+
+std::vector<Application> jackee::synth::allBenchmarks() {
+  std::vector<Application> Apps;
+  for (int I = 0; I != 8; ++I)
+    Apps.push_back(applicationFor(static_cast<BenchApp>(I)));
+  return Apps;
+}
+
+Application jackee::synth::dacapoLikeApp() {
+  Application A;
+  A.Name = "dacapo-like";
+  A.MainClass = "app.desktop.Main";
+  A.Populate = [](Program &P, const JavaLib &L,
+                  const FrameworkLib &) {
+    auto appClass = [&](const std::string &Name) {
+      return P.addClass(Name, TypeKind::Class, L.Object, {}, false, true);
+    };
+
+    // Item hierarchy: plain object-graph churn, no collections.
+    TypeId ItemBase = appClass("app.desktop.ItemBase");
+    FieldId ItemPayload = P.addField(ItemBase, "payload", L.Object);
+    {
+      MethodBuilder MB = P.addMethod(ItemBase, "payload", {}, L.Object);
+      VarId V = MB.local("v", L.Object);
+      MB.load(V, MB.thisVar(), ItemPayload).ret(V);
+    }
+    std::vector<TypeId> Items;
+    std::vector<MethodId> ItemInits;
+    for (uint32_t I = 0; I != 24; ++I) {
+      TypeId It = P.addClass("app.desktop.Item" + std::to_string(I),
+                             TypeKind::Class, ItemBase, {}, false, true);
+      Items.push_back(It);
+      MethodBuilder Init = P.addMethod(It, "<init>", {}, TypeId::invalid());
+      VarId S = Init.local("s", L.String);
+      Init.stringConst(S, "item" + std::to_string(I))
+          .store(Init.thisVar(), ItemPayload, S);
+      ItemInits.push_back(Init.id());
+      MethodBuilder MB = P.addMethod(It, "payload", {}, L.Object);
+      VarId V = MB.local("v", L.Object);
+      MB.load(V, MB.thisVar(), ItemPayload).ret(V);
+    }
+
+    // Worker chain: workers 0..27 reachable from main, the rest dead. Each
+    // worker builds items, exchanges payloads and dispatches through the
+    // ItemBase supertype — heavy app-code flow, no java.util.
+    std::vector<TypeId> Workers;
+    std::vector<MethodId> WorkerRuns;
+    for (uint32_t I = 0; I != 80; ++I) {
+      TypeId W = appClass("app.desktop.Worker" + std::to_string(I));
+      Workers.push_back(W);
+      P.addMethod(W, "<init>", {}, TypeId::invalid());
+      FieldId Held = P.addField(W, "held", ItemBase);
+      MethodBuilder MB = P.addMethod(W, "run", {L.Object}, L.Object);
+      WorkerRuns.push_back(MB.id());
+      uint32_t ItemIdx = I % 24;
+      VarId It = MB.local("it", Items[ItemIdx]);
+      VarId Ib = MB.local("ib", ItemBase);
+      VarId Pay = MB.local("pay", L.Object);
+      MB.alloc(It, Items[ItemIdx])
+          .specialCall(VarId::invalid(), It, ItemInits[ItemIdx], {})
+          .store(MB.thisVar(), Held, It)
+          .load(Ib, MB.thisVar(), Held)
+          .virtualCall(Pay, Ib, "payload", {}, {});
+      if (I > 0 && I != 28) {
+        VarId Next = MB.local("next", Workers[I - 1]);
+        VarId R = MB.local("r", L.Object);
+        MB.alloc(Next, Workers[I - 1])
+            .specialCall(VarId::invalid(), Next,
+                         P.findMethod(Workers[I - 1], "<init>", {}), {})
+            .virtualCall(R, Next, "run", {L.Object}, {Pay})
+            .ret(R);
+      } else {
+        MB.ret(Pay);
+      }
+    }
+
+    TypeId Main = appClass("app.desktop.Main");
+    MethodBuilder MB =
+        P.addMethod(Main, "main", {}, TypeId::invalid(), /*IsStatic=*/true);
+    VarId M = MB.local("m", L.HashMap);
+    VarId K = MB.local("k", L.String);
+    VarId V = MB.local("v", L.Object);
+    VarId Got = MB.local("got", L.Object);
+    VarId W = MB.local("w", Workers[27]);
+    VarId R = MB.local("r", L.Object);
+    MB.alloc(M, L.HashMap)
+        .specialCall(VarId::invalid(), M, L.HashMapInit, {})
+        .stringConst(K, "cfg")
+        .alloc(V, Workers[0])
+        .virtualCall(VarId::invalid(), M, "put", {L.Object, L.Object}, {K, V})
+        .virtualCall(Got, M, "get", {L.Object}, {K})
+        .alloc(W, Workers[27])
+        .specialCall(VarId::invalid(), W,
+                     P.findMethod(Workers[27], "<init>", {}), {})
+        .virtualCall(R, W, "run", {L.Object}, {Got});
+    return std::vector<std::pair<std::string, std::string>>{};
+  };
+  return A;
+}

@@ -1,0 +1,170 @@
+//===- facts_test.cpp - Fact extraction tests ------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// The extractor produces the paper's Figure 1/2 base relations; these tests
+// pin the schema, the entity encoding round-trip, and the shape of the
+// extracted tuples for a small program and an XML config.
+//
+//===----------------------------------------------------------------------===//
+
+#include "facts/Extractor.h"
+
+#include <gtest/gtest.h>
+
+using namespace jackee;
+using namespace jackee::facts;
+using namespace jackee::ir;
+
+namespace {
+
+class FactsTest : public ::testing::Test {
+protected:
+  FactsTest() : DB(Symbols), P(Symbols), Ex(DB) {
+    Object = P.addClass("java.lang.Object", TypeKind::Class,
+                        TypeId::invalid());
+    P.addClass("java.lang.String", TypeKind::Class, Object);
+  }
+
+  SymbolTable Symbols;
+  datalog::Database DB;
+  Program P;
+  Extractor Ex;
+  TypeId Object;
+};
+
+TEST_F(FactsTest, SchemaDeclared) {
+  for (const char *Rel :
+       {"ClassType", "InterfaceType", "ApplicationClass",
+        "ConcreteApplicationClass", "SubtypeOf", "Class_Annotation",
+        "Method_Annotation", "Field_Annotation", "Method_DeclaringType",
+        "Method_SimpleName", "ConcreteMethod", "StaticMethod",
+        "Field_DeclaringType", "Field_Name", "Field_Type", "Var_Type",
+        "FormalParam", "ActualParam", "AssignReturnValue",
+        "VirtualInvocation_SimpleName", "VirtualInvocation_Base",
+        "Invocation_InMethod", "CastInMethod", "Class_DefaultBeanId",
+        "XMLNode", "XMLNodeAttr", "XMLNodeText"})
+    EXPECT_TRUE(DB.find(Rel).isValid()) << Rel;
+}
+
+TEST_F(FactsTest, EntityEncodingRoundTrip) {
+  EXPECT_EQ(Extractor::decodeMethod(Extractor::encodeMethod(MethodId(7))),
+            MethodId(7));
+  EXPECT_EQ(Extractor::decodeField(Extractor::encodeField(FieldId(3))),
+            FieldId(3));
+  EXPECT_EQ(Extractor::decodeVar(Extractor::encodeVar(VarId(12))),
+            VarId(12));
+  EXPECT_EQ(Extractor::decodeInvoke(Extractor::encodeInvoke(InvokeId(0))),
+            InvokeId(0));
+  // Malformed inputs decode to invalid, never crash.
+  EXPECT_FALSE(Extractor::decodeMethod("F#3").isValid());
+  EXPECT_FALSE(Extractor::decodeMethod("M#").isValid());
+  EXPECT_FALSE(Extractor::decodeMethod("M#12x").isValid());
+  EXPECT_FALSE(Extractor::decodeMethod("").isValid());
+  EXPECT_FALSE(Extractor::decodeMethod("com.app.Foo").isValid());
+}
+
+TEST_F(FactsTest, DefaultBeanIdConvention) {
+  EXPECT_EQ(defaultBeanId("com.app.UserService"), "userService");
+  EXPECT_EQ(defaultBeanId("Simple"), "simple");
+  EXPECT_EQ(defaultBeanId("a.b.x"), "x");
+  EXPECT_EQ(defaultBeanId("a.b.URL"), "uRL"); // Spring's literal rule
+}
+
+TEST_F(FactsTest, ProgramExtraction) {
+  TypeId Iface = P.addClass("app.I", TypeKind::Interface, Object, {}, true,
+                            true);
+  TypeId App = P.addClass("app.Controller", TypeKind::Class, Object, {Iface},
+                          false, /*IsApplication=*/true);
+  P.annotateType(App, "org.spring.@Controller");
+  FieldId F = P.addField(App, "dep", Object);
+  P.annotateField(F, "@Autowired");
+  MethodBuilder M = P.addMethod(App, "handle", {Object}, Object);
+  P.annotateMethod(M.id(), "@RequestMapping");
+  VarId Cast = M.local("c", App);
+  M.cast(Cast, App, M.param(0))
+      .virtualCall(VarId::invalid(), Cast, "handle", {Object}, {M.param(0)})
+      .ret(M.param(0));
+  P.finalize();
+  Ex.extractProgram(P);
+
+  EXPECT_TRUE(DB.containsFact("ConcreteApplicationClass",
+                              {"app.Controller"}));
+  EXPECT_FALSE(DB.containsFact("ConcreteApplicationClass", {"app.I"}));
+  EXPECT_TRUE(DB.containsFact("InterfaceType", {"app.I"}));
+  EXPECT_TRUE(DB.containsFact("SubtypeOf", {"app.Controller", "app.I"}));
+  EXPECT_TRUE(
+      DB.containsFact("SubtypeOf", {"app.Controller", "java.lang.Object"}));
+  EXPECT_TRUE(DB.containsFact("Class_Annotation",
+                              {"app.Controller", "org.spring.@Controller"}));
+  EXPECT_TRUE(DB.containsFact("Class_DefaultBeanId",
+                              {"app.Controller", "controller"}));
+
+  std::string MSym = Extractor::encodeMethod(M.id());
+  EXPECT_TRUE(DB.containsFact("Method_DeclaringType",
+                              {MSym, "app.Controller"}));
+  EXPECT_TRUE(DB.containsFact("Method_SimpleName", {MSym, "handle"}));
+  EXPECT_TRUE(DB.containsFact("ConcreteMethod", {MSym}));
+  EXPECT_TRUE(DB.containsFact("Method_Annotation",
+                              {MSym, "@RequestMapping"}));
+  EXPECT_TRUE(DB.containsFact("CastInMethod", {MSym, "app.Controller"}));
+
+  std::string FSym = Extractor::encodeField(F);
+  EXPECT_TRUE(DB.containsFact("Field_DeclaringType",
+                              {FSym, "app.Controller"}));
+  EXPECT_TRUE(DB.containsFact("Field_Name", {FSym, "dep"}));
+  EXPECT_TRUE(DB.containsFact("Field_Annotation", {FSym, "@Autowired"}));
+
+  // Formal parameter facts with index and declared type.
+  std::string PSym = Extractor::encodeVar(P.method(M.id()).Params[0]);
+  EXPECT_TRUE(DB.containsFact("FormalParam", {"0", MSym, PSym}));
+  EXPECT_TRUE(DB.containsFact("Var_Type", {PSym, "java.lang.Object"}));
+
+  // The virtual invocation's shape.
+  const Statement &Call = P.method(M.id()).Statements[1];
+  std::string ISym = Extractor::encodeInvoke(Call.Invoke);
+  EXPECT_TRUE(DB.containsFact("Invocation_InMethod", {ISym, MSym}));
+  EXPECT_TRUE(
+      DB.containsFact("VirtualInvocation_SimpleName", {ISym, "handle"}));
+  EXPECT_TRUE(DB.containsFact("ActualParam", {"0", ISym, PSym}));
+}
+
+TEST_F(FactsTest, XmlExtraction) {
+  xml::ParseResult R = xml::Parser::parse(
+      "<beans><bean id=\"svc\" class=\"app.Svc\">"
+      "<property name=\"repo\" ref=\"r\"/></bean>"
+      "<note>hello</note></beans>");
+  ASSERT_TRUE(R.ok());
+  Ex.extractXml(*R.Doc, "beans.xml");
+
+  EXPECT_TRUE(DB.containsFact("XMLNode", {"beans.xml", "0", "-1", "", "beans"}));
+  EXPECT_TRUE(DB.containsFact("XMLNode", {"beans.xml", "1", "0", "", "bean"}));
+  EXPECT_TRUE(
+      DB.containsFact("XMLNodeAttr", {"beans.xml", "1", "0", "id", "svc"}));
+  EXPECT_TRUE(DB.containsFact("XMLNodeAttr",
+                              {"beans.xml", "1", "1", "class", "app.Svc"}));
+  EXPECT_TRUE(DB.containsFact("XMLNode", {"beans.xml", "2", "1", "", "property"}));
+  EXPECT_TRUE(DB.containsFact("XMLNodeText", {"beans.xml", "3", "hello"}));
+}
+
+TEST_F(FactsTest, NamespacedXmlSplitsPrefix) {
+  xml::ParseResult R = xml::Parser::parse(
+      "<beans><security:authentication-manager/></beans>");
+  ASSERT_TRUE(R.ok());
+  Ex.extractXml(*R.Doc, "sec.xml");
+  EXPECT_TRUE(DB.containsFact(
+      "XMLNode", {"sec.xml", "1", "0", "security", "authentication-manager"}));
+}
+
+TEST_F(FactsTest, StaticMethodsMarked) {
+  TypeId App =
+      P.addClass("app.Util", TypeKind::Class, Object, {}, false, true);
+  MethodBuilder M =
+      P.addMethod(App, "helper", {}, TypeId::invalid(), /*IsStatic=*/true);
+  P.finalize();
+  Ex.extractProgram(P);
+  EXPECT_TRUE(
+      DB.containsFact("StaticMethod", {Extractor::encodeMethod(M.id())}));
+}
+
+} // namespace

@@ -1,0 +1,494 @@
+//===- frameworks_test.cpp - Framework modeling tests ----------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+// Exercises the paper's Section 3 machinery end to end: rule-driven entry
+// point discovery (subtyping, annotations, XML), the framework-independent
+// mock policy, bean generation and dependency injection, and recursive
+// getBean resolution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frameworks/FrameworkLibrary.h"
+#include "frameworks/FrameworkManager.h"
+#include "javalib/JavaLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace jackee;
+using namespace jackee::ir;
+using namespace jackee::javalib;
+using namespace jackee::frameworks;
+using namespace jackee::pointsto;
+
+namespace {
+
+/// Full pipeline fixture: library + framework API + app under test.
+class PipelineTest : public ::testing::Test {
+protected:
+  PipelineTest()
+      : DB(Symbols), P(Symbols), L(buildJavaLibrary(P, true)),
+        F(buildFrameworkLibrary(P, L)), FM(P, DB) {}
+
+  /// App class helper.
+  TypeId appClass(std::string_view Name, TypeId Super,
+                  std::vector<TypeId> Ifaces = {}, bool Abstract = false) {
+    return P.addClass(Name, TypeKind::Class, Super, std::move(Ifaces),
+                      Abstract, /*IsApplication=*/true);
+  }
+
+  /// Runs the full pipeline with default frameworks (unless \p BaselineOnly)
+  /// and returns the solved analysis.
+  std::unique_ptr<Solver> run(uint32_t K = 2, uint32_t H = 1,
+                              bool BaselineOnly = false) {
+    if (BaselineOnly)
+      FM.addServletBaselineOnly();
+    else
+      FM.addDefaultFrameworks();
+    P.finalize();
+    std::string Err = FM.prepare();
+    EXPECT_EQ(Err, "");
+    auto S = std::make_unique<Solver>(P, SolverConfig{K, H});
+    S->addPlugin(&FM);
+    S->solve();
+    return S;
+  }
+
+  bool pointsToType(const Solver &S, VarId V, std::string_view TypeName) {
+    for (AllocSiteId Site : S.varPointsToSites(V)) {
+      TypeId T = S.program().allocSite(Site).ObjectType;
+      if (Symbols.text(P.type(T).Name) == TypeName)
+        return true;
+    }
+    return false;
+  }
+
+  SymbolTable Symbols;
+  datalog::Database DB;
+  Program P;
+  JavaLib L;
+  FrameworkLib F;
+  FrameworkManager FM;
+};
+
+TEST_F(PipelineTest, ServletSubtypingEntryPoint) {
+  // class MainServlet extends HttpServlet { doGet(req, resp) { helper(); } }
+  TypeId Servlet = appClass("com.app.MainServlet", F.HttpServlet);
+  MethodBuilder Helper = P.addMethod(Servlet, "helper", {}, TypeId::invalid());
+  MethodBuilder DoGet =
+      P.addMethod(Servlet, "doGet",
+                  {F.HttpServletRequest, F.HttpServletResponse},
+                  TypeId::invalid());
+  DoGet.virtualCall(VarId::invalid(), DoGet.thisVar(), "helper", {}, {});
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(DoGet.id()));
+  EXPECT_TRUE(S->isMethodReachable(Helper.id()));
+  // The request parameter is mocked with the concrete container impl.
+  EXPECT_TRUE(pointsToType(*S, DoGet.param(0),
+                           "org.apache.catalina.connector.RequestFacade"));
+  // Discovered as a Servlet in the datalog layer.
+  EXPECT_TRUE(DB.containsFact("Servlet", {"com.app.MainServlet"}));
+  EXPECT_TRUE(DB.containsFact("EntryPointClass", {"com.app.MainServlet"}));
+}
+
+TEST_F(PipelineTest, SpringControllerAndAutowiredInjection) {
+  // @Service class UserService { find() {...} }
+  TypeId Svc = appClass("com.app.UserService", L.Object);
+  P.annotateType(Svc, "org.springframework.stereotype.@Service");
+  P.addMethod(Svc, "<init>", {}, TypeId::invalid());
+  MethodBuilder Find = P.addMethod(Svc, "find", {}, L.Object);
+  {
+    VarId R = Find.local("r", L.Object);
+    Find.alloc(R, L.Object).ret(R);
+  }
+
+  // @Controller class UserController { @Autowired UserService svc;
+  //   @RequestMapping handle() { svc.find(); } }
+  TypeId Ctl = appClass("com.app.UserController", L.Object);
+  P.annotateType(Ctl, "org.springframework.stereotype.@Controller");
+  P.addMethod(Ctl, "<init>", {}, TypeId::invalid());
+  FieldId SvcF = P.addField(Ctl, "svc", Svc);
+  P.annotateField(SvcF,
+                  "org.springframework.beans.factory.annotation.@Autowired");
+  MethodBuilder Handle = P.addMethod(Ctl, "handle", {}, TypeId::invalid());
+  P.annotateMethod(Handle.id(),
+                   "org.springframework.web.bind.annotation.@RequestMapping");
+  {
+    VarId SvcV = Handle.local("s", Svc);
+    Handle.load(SvcV, Handle.thisVar(), SvcF)
+        .virtualCall(VarId::invalid(), SvcV, "find", {}, {});
+  }
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(Handle.id()));
+  EXPECT_TRUE(S->isMethodReachable(Find.id()))
+      << "injection must make the service reachable through the field";
+  EXPECT_TRUE(DB.containsFact("Controller", {"com.app.UserController"}));
+  EXPECT_TRUE(DB.containsFact("Bean", {"com.app.UserService"}));
+  EXPECT_GE(FM.stats().InjectionsApplied, 1u);
+}
+
+TEST_F(PipelineTest, XmlBeanPropertyInjection) {
+  // Repository + page bean wired purely through XML (paper Section 3.5).
+  TypeId Repo = appClass("com.app.Repository", L.Object);
+  P.addMethod(Repo, "<init>", {}, TypeId::invalid());
+  MethodBuilder Query = P.addMethod(Repo, "query", {}, L.Object);
+  {
+    VarId R = Query.local("r", L.Object);
+    Query.alloc(R, L.Object).ret(R);
+  }
+
+  TypeId Page = appClass("com.app.PageBean", L.Object);
+  P.addMethod(Page, "<init>", {}, TypeId::invalid());
+  FieldId RepoF = P.addField(Page, "repository", Repo);
+  MethodBuilder Render = P.addMethod(
+      Page, "render", {F.ServletRequest, F.ServletResponse},
+      TypeId::invalid()); // request param => exercised entry point
+  {
+    VarId R = Render.local("r", Repo);
+    Render.load(R, Render.thisVar(), RepoF)
+        .virtualCall(VarId::invalid(), R, "query", {}, {});
+  }
+
+  ASSERT_EQ(FM.addConfigXml("beans.xml", R"(
+    <beans>
+      <bean id="pageBean" class="com.app.PageBean">
+        <property name="repository" ref="repo"/>
+      </bean>
+      <bean id="repo" class="com.app.Repository"/>
+    </beans>)"),
+            "");
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(Render.id()));
+  EXPECT_TRUE(S->isMethodReachable(Query.id()));
+  EXPECT_TRUE(DB.containsFact("Bean", {"com.app.Repository"}));
+  EXPECT_TRUE(DB.containsFact("Bean_Id", {"com.app.Repository", "repo"}));
+}
+
+TEST_F(PipelineTest, SpringSecurityAuthenticationProviderXml) {
+  // The paper's Section 3.4 example: a custom provider registered via XML.
+  TypeId Provider = appClass("com.app.CustomAuthenticationProvider", L.Object,
+                             {F.AuthenticationProvider});
+  P.addMethod(Provider, "<init>", {}, TypeId::invalid());
+  MethodBuilder Auth = P.addMethod(Provider, "authenticate",
+                                   {F.Authentication}, F.Authentication);
+  Auth.ret(Auth.param(0));
+
+  ASSERT_EQ(FM.addConfigXml("security.xml", R"(
+    <beans>
+      <bean id="customAuthenticationProvider"
+            class="com.app.CustomAuthenticationProvider"/>
+      <authentication-manager>
+        <authentication-provider ref="customAuthenticationProvider"/>
+      </authentication-manager>
+    </beans>)"),
+            "");
+
+  auto S = run();
+  EXPECT_TRUE(DB.containsFact("Interceptor",
+                              {"com.app.CustomAuthenticationProvider"}));
+  EXPECT_TRUE(S->isMethodReachable(Auth.id()));
+  // The Authentication argument is mocked with the library token impl.
+  EXPECT_TRUE(pointsToType(
+      *S, Auth.param(0),
+      "org.springframework.security.authentication."
+      "UsernamePasswordAuthenticationToken"));
+}
+
+TEST_F(PipelineTest, WebXmlServletRegistration) {
+  // Entry point visible only through web.xml (like alfresco's).
+  TypeId Handler = appClass("com.app.LegacyHandler", F.HttpServlet);
+  MethodBuilder DoPost =
+      P.addMethod(Handler, "doPost",
+                  {F.HttpServletRequest, F.HttpServletResponse},
+                  TypeId::invalid());
+
+  // A class NOT extending servlet types, registered purely in XML.
+  TypeId XmlOnly = appClass("com.app.XmlOnlyComponent", L.Object);
+  P.addMethod(XmlOnly, "<init>", {}, TypeId::invalid());
+  MethodBuilder Run = P.addMethod(XmlOnly, "run", {}, TypeId::invalid());
+
+  ASSERT_EQ(FM.addConfigXml("web.xml", R"(
+    <web-app>
+      <servlet>
+        <servlet-name>legacy</servlet-name>
+        <servlet-class>com.app.LegacyHandler</servlet-class>
+      </servlet>
+      <listener>
+        <listener-class>com.app.XmlOnlyComponent</listener-class>
+      </listener>
+    </web-app>)"),
+            "");
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(DoPost.id()));
+  EXPECT_TRUE(S->isMethodReachable(Run.id()));
+}
+
+TEST_F(PipelineTest, GetBeanProgrammaticLookup) {
+  // @Service bean retrieved programmatically by name from a controller.
+  TypeId Mail = appClass("com.app.MailService", L.Object);
+  P.annotateType(Mail, "org.springframework.stereotype.@Service");
+  P.addMethod(Mail, "<init>", {}, TypeId::invalid());
+  MethodBuilder Send = P.addMethod(Mail, "send", {}, TypeId::invalid());
+
+  TypeId Ctl = appClass("com.app.JobController", L.Object);
+  P.annotateType(Ctl, "org.springframework.stereotype.@Controller");
+  P.addMethod(Ctl, "<init>", {}, TypeId::invalid());
+  FieldId CtxF = P.addField(Ctl, "ctx", F.BeanFactory);
+  MethodBuilder Handle = P.addMethod(Ctl, "handle", {}, TypeId::invalid());
+  P.annotateMethod(Handle.id(),
+                   "org.springframework.web.bind.annotation.@RequestMapping");
+  {
+    VarId Ctx = Handle.local("ctx", F.BeanFactory);
+    VarId Name = Handle.local("name", L.String);
+    VarId Obj = Handle.local("obj", L.Object);
+    VarId Svc = Handle.local("svc", Mail);
+    Handle.load(Ctx, Handle.thisVar(), CtxF)
+        .stringConst(Name, "mailService")
+        .virtualCall(Obj, Ctx, "getBean", {L.String}, {Name})
+        .cast(Svc, Mail, Obj)
+        .virtualCall(VarId::invalid(), Svc, "send", {}, {});
+  }
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(Handle.id()));
+  EXPECT_TRUE(S->isMethodReachable(Send.id()))
+      << "getBean(\"mailService\") must resolve to the MailService bean";
+  EXPECT_GE(FM.stats().GetBeanResolutions, 1u);
+  EXPECT_GE(S->stats().PluginRounds, 2u)
+      << "getBean requires the recursive rules/analysis loop";
+}
+
+TEST_F(PipelineTest, EjbBeansAndMessageDriven) {
+  TypeId Dao = appClass("com.app.OrderDao", L.Object);
+  P.annotateType(Dao, "javax.ejb.@Stateless");
+  P.addMethod(Dao, "<init>", {}, TypeId::invalid());
+  MethodBuilder Persist = P.addMethod(Dao, "persist", {}, TypeId::invalid());
+
+  TypeId Mdb = appClass("com.app.OrderListener", L.Object,
+                        {F.JmsMessageListener});
+  P.annotateType(Mdb, "javax.ejb.@MessageDriven");
+  P.addMethod(Mdb, "<init>", {}, TypeId::invalid());
+  FieldId DaoF = P.addField(Mdb, "dao", Dao);
+  P.annotateField(DaoF, "javax.ejb.@EJB");
+  MethodBuilder OnMsg =
+      P.addMethod(Mdb, "onMessage", {F.JmsMessage}, TypeId::invalid());
+  {
+    VarId D = OnMsg.local("d", Dao);
+    OnMsg.load(D, OnMsg.thisVar(), DaoF)
+        .virtualCall(VarId::invalid(), D, "persist", {}, {});
+  }
+
+  auto S = run();
+  EXPECT_TRUE(DB.containsFact("Bean", {"com.app.OrderDao"}));
+  EXPECT_TRUE(S->isMethodReachable(OnMsg.id()));
+  EXPECT_TRUE(S->isMethodReachable(Persist.id()));
+  // JMS message argument mocked with the ActiveMQ impl.
+  EXPECT_TRUE(pointsToType(*S, OnMsg.param(0),
+                           "org.apache.activemq.command.ActiveMQMessage"));
+}
+
+TEST_F(PipelineTest, JaxRsAnnotatedMethods) {
+  TypeId Res = appClass("com.app.ItemResource", L.Object);
+  P.addMethod(Res, "<init>", {}, TypeId::invalid());
+  MethodBuilder GetM = P.addMethod(Res, "list", {}, L.Object);
+  P.annotateMethod(GetM.id(), "javax.ws.rs.@GET");
+  {
+    VarId R = GetM.local("r", L.Object);
+    GetM.alloc(R, L.Object).ret(R);
+  }
+  MethodBuilder Unrelated =
+      P.addMethod(Res, "internal", {}, TypeId::invalid());
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(GetM.id()));
+  EXPECT_TRUE(DB.containsFact("RESTResource", {"com.app.ItemResource"}));
+  // Because the class is an EntryPointClass, its other concrete methods are
+  // also exercised (framework-independent rule).
+  EXPECT_TRUE(S->isMethodReachable(Unrelated.id()));
+}
+
+TEST_F(PipelineTest, StrutsActionExecute) {
+  TypeId Action =
+      appClass("com.app.CheckoutAction", F.StrutsActionSupport);
+  P.addMethod(Action, "<init>", {}, TypeId::invalid());
+  MethodBuilder Exec = P.addMethod(Action, "execute", {}, L.String);
+  {
+    VarId R = Exec.local("r", L.String);
+    Exec.stringConst(R, "success").ret(R);
+  }
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(Exec.id()));
+  EXPECT_TRUE(DB.containsFact("EntryPointClass", {"com.app.CheckoutAction"}));
+}
+
+TEST_F(PipelineTest, BaselineMissesAnnotationEntryPoints) {
+  // The same Spring controller as above, analyzed with the Doop baseline:
+  // zero application coverage (paper Figure 4's Doop bars).
+  TypeId Ctl = appClass("com.app.OnlyController", L.Object);
+  P.annotateType(Ctl, "org.springframework.stereotype.@Controller");
+  P.addMethod(Ctl, "<init>", {}, TypeId::invalid());
+  MethodBuilder Handle = P.addMethod(Ctl, "handle", {}, TypeId::invalid());
+  P.annotateMethod(Handle.id(),
+                   "org.springframework.web.bind.annotation.@RequestMapping");
+
+  auto S = run(2, 1, /*BaselineOnly=*/true);
+  EXPECT_FALSE(S->isMethodReachable(Handle.id()));
+  EXPECT_FALSE(DB.containsFact("EntryPointClass", {"com.app.OnlyController"}));
+}
+
+TEST_F(PipelineTest, BaselineStillSeesSubtypedServlets) {
+  TypeId Servlet = appClass("com.app.PlainServlet", F.GenericServlet);
+  MethodBuilder Service =
+      P.addMethod(Servlet, "service", {F.ServletRequest, F.ServletResponse},
+                  TypeId::invalid());
+
+  auto S = run(2, 1, /*BaselineOnly=*/true);
+  EXPECT_TRUE(S->isMethodReachable(Service.id()));
+}
+
+TEST_F(PipelineTest, MockObjectsAreSharedPerType) {
+  // Two servlets with HttpServletRequest params: the one-mock-per-type rule
+  // means both see the same abstract request object.
+  TypeId S1 = appClass("com.app.S1", F.HttpServlet);
+  MethodBuilder M1 = P.addMethod(
+      S1, "doGet", {F.HttpServletRequest, F.HttpServletResponse},
+      TypeId::invalid());
+  TypeId S2 = appClass("com.app.S2", F.HttpServlet);
+  MethodBuilder M2 = P.addMethod(
+      S2, "doGet", {F.HttpServletRequest, F.HttpServletResponse},
+      TypeId::invalid());
+
+  auto S = run();
+  std::vector<AllocSiteId> Req1 = S->varPointsToSites(M1.param(0));
+  std::vector<AllocSiteId> Req2 = S->varPointsToSites(M2.param(0));
+  ASSERT_FALSE(Req1.empty());
+  EXPECT_EQ(Req1, Req2);
+}
+
+TEST_F(PipelineTest, CastBasedMockDiscovery) {
+  // Entry method takes Object but casts to a concrete app type with no
+  // other relation to the parameter type: the cast reveals the mock type.
+  TypeId Payload = appClass("com.app.Payload", L.Object);
+  P.addMethod(Payload, "<init>", {}, TypeId::invalid());
+  MethodBuilder Process = P.addMethod(Payload, "process", {},
+                                      TypeId::invalid());
+
+  TypeId Res = appClass("com.app.GenericEndpoint", L.Object);
+  P.addMethod(Res, "<init>", {}, TypeId::invalid());
+  MethodBuilder Handle = P.addMethod(Res, "handle", {L.Object},
+                                     TypeId::invalid());
+  P.annotateMethod(Handle.id(), "javax.ws.rs.@POST");
+  {
+    VarId Cast = Handle.local("c", Payload);
+    Handle.cast(Cast, Payload, Handle.param(0))
+        .virtualCall(VarId::invalid(), Cast, "process", {}, {});
+  }
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(Handle.id()));
+  EXPECT_TRUE(pointsToType(*S, Handle.param(0), "com.app.Payload"));
+  EXPECT_TRUE(S->isMethodReachable(Process.id()));
+}
+
+TEST_F(PipelineTest, ConstructorsOfMockedTypesRun) {
+  // The mock's constructor initializes a field the entry point then reads —
+  // the recursive constructor-exercising rule of Section 3.3.
+  TypeId Dep = appClass("com.app.Dep", L.Object);
+  P.addMethod(Dep, "<init>", {}, TypeId::invalid());
+  MethodBuilder Work = P.addMethod(Dep, "work", {}, TypeId::invalid());
+
+  TypeId Ctl = appClass("com.app.InitController", L.Object);
+  P.annotateType(Ctl, "org.springframework.stereotype.@Controller");
+  FieldId DepF = P.addField(Ctl, "dep", Dep);
+  MethodBuilder Init = P.addMethod(Ctl, "<init>", {}, TypeId::invalid());
+  {
+    VarId D = Init.local("d", Dep);
+    Init.alloc(D, Dep).store(Init.thisVar(), DepF, D);
+  }
+  MethodBuilder Handle = P.addMethod(Ctl, "handle", {}, TypeId::invalid());
+  P.annotateMethod(Handle.id(),
+                   "org.springframework.web.bind.annotation.@RequestMapping");
+  {
+    VarId D = Handle.local("d", Dep);
+    Handle.load(D, Handle.thisVar(), DepF)
+        .virtualCall(VarId::invalid(), D, "work", {}, {});
+  }
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(Init.id()))
+      << "constructor of the mocked controller must be exercised";
+  EXPECT_TRUE(S->isMethodReachable(Work.id()))
+      << "field state established by the constructor must be visible";
+}
+
+TEST_F(PipelineTest, CustomFrameworkRegistration) {
+  // The extensibility claim: a new framework = a handful of rules.
+  TypeId Job = appClass("com.app.NightlyJob", L.Object);
+  P.annotateType(Job, "com.scheduler.@ScheduledJob");
+  P.addMethod(Job, "<init>", {}, TypeId::invalid());
+  MethodBuilder RunM = P.addMethod(Job, "run", {}, TypeId::invalid());
+
+  ASSERT_EQ(FM.addRules("scheduler.dl", R"(
+    EntryPointClass(class) :-
+      ConcreteApplicationClass(class),
+      Class_Annotation(class, "com.scheduler.@ScheduledJob").
+  )"),
+            "");
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(RunM.id()));
+}
+
+TEST_F(PipelineTest, UnreachableWithoutAnyFramework) {
+  // Sanity: framework-discoverable code is NOT reachable if nothing marks
+  // it (an app with no entry points at all).
+  TypeId Lonely = appClass("com.app.Lonely", L.Object);
+  MethodBuilder M = P.addMethod(Lonely, "m", {}, TypeId::invalid());
+
+  auto S = run();
+  EXPECT_FALSE(S->isMethodReachable(M.id()));
+}
+
+} // namespace
+
+namespace {
+TEST_F(PipelineTest, SpringSetterInjection) {
+  // @Service bean injected through an @Autowired setter method — the
+  // paper's "less common method injection".
+  TypeId Svc = appClass("com.app.AuditService", L.Object);
+  P.annotateType(Svc, "org.springframework.stereotype.@Service");
+  P.addMethod(Svc, "<init>", {}, TypeId::invalid());
+  MethodBuilder Log = P.addMethod(Svc, "log", {}, TypeId::invalid());
+
+  TypeId Ctl = appClass("com.app.SetterController", L.Object);
+  P.annotateType(Ctl, "org.springframework.stereotype.@Controller");
+  P.addMethod(Ctl, "<init>", {}, TypeId::invalid());
+  FieldId SvcF = P.addField(Ctl, "svc", Svc);
+  MethodBuilder Setter =
+      P.addMethod(Ctl, "setAuditService", {Svc}, TypeId::invalid());
+  P.annotateMethod(Setter.id(),
+                   "org.springframework.beans.factory.annotation.@Autowired");
+  Setter.store(Setter.thisVar(), SvcF, Setter.param(0));
+
+  MethodBuilder Handle = P.addMethod(Ctl, "handle", {}, TypeId::invalid());
+  P.annotateMethod(Handle.id(),
+                   "org.springframework.web.bind.annotation.@RequestMapping");
+  {
+    VarId S = Handle.local("s", Svc);
+    Handle.load(S, Handle.thisVar(), SvcF)
+        .virtualCall(VarId::invalid(), S, "log", {}, {});
+  }
+
+  auto S = run();
+  EXPECT_TRUE(S->isMethodReachable(Setter.id()))
+      << "the container must invoke the setter";
+  EXPECT_TRUE(S->isMethodReachable(Log.id()))
+      << "the setter-established field state must reach the handler";
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+//===- ir_test.cpp - Unit tests for the Java-like IR ----------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace jackee;
+using namespace jackee::ir;
+
+namespace {
+
+/// Builds a small hierarchy shared by most tests:
+///   Object <- A <- B <- C;  I (interface);  B implements I.
+class IrTest : public ::testing::Test {
+protected:
+  IrTest() : P(Symbols) {
+    Object = P.addClass("java.lang.Object", TypeKind::Class,
+                        TypeId::invalid());
+    P.addClass("java.lang.String", TypeKind::Class, Object);
+    I = P.addClass("app.I", TypeKind::Interface, Object, {}, true, true);
+    A = P.addClass("app.A", TypeKind::Class, Object, {}, false, true);
+    B = P.addClass("app.B", TypeKind::Class, A, {I}, false, true);
+    C = P.addClass("app.C", TypeKind::Class, B, {}, false, true);
+  }
+
+  SymbolTable Symbols;
+  Program P;
+  TypeId Object, I, A, B, C;
+};
+
+TEST_F(IrTest, FindType) {
+  EXPECT_EQ(P.findType("app.A"), A);
+  EXPECT_FALSE(P.findType("app.Nope").isValid());
+}
+
+TEST_F(IrTest, SubtypingIsReflexiveAndTransitive) {
+  P.finalize();
+  EXPECT_TRUE(P.isSubtype(A, A));
+  EXPECT_TRUE(P.isSubtype(B, A));
+  EXPECT_TRUE(P.isSubtype(C, A));
+  EXPECT_TRUE(P.isSubtype(C, Object));
+  EXPECT_FALSE(P.isSubtype(A, B));
+}
+
+TEST_F(IrTest, InterfaceSubtyping) {
+  P.finalize();
+  EXPECT_TRUE(P.isSubtype(B, I));
+  EXPECT_TRUE(P.isSubtype(C, I)); // inherited through B
+  EXPECT_FALSE(P.isSubtype(A, I));
+  EXPECT_TRUE(P.isSubtype(I, Object));
+}
+
+TEST_F(IrTest, ArrayCovariance) {
+  TypeId ArrA = P.addArrayType(A);
+  TypeId ArrB = P.addArrayType(B);
+  P.finalize();
+  EXPECT_TRUE(P.isSubtype(ArrB, ArrA));
+  EXPECT_FALSE(P.isSubtype(ArrA, ArrB));
+  EXPECT_TRUE(P.isSubtype(ArrA, Object));
+}
+
+TEST_F(IrTest, ArrayTypesAreInterned) {
+  EXPECT_EQ(P.addArrayType(A), P.addArrayType(A));
+}
+
+TEST_F(IrTest, ConcreteSubtypes) {
+  P.finalize();
+  // Concrete subtypes of A: A, B, C.
+  EXPECT_EQ(P.concreteSubtypes(A).size(), 3u);
+  // Interface I: B, C.
+  EXPECT_EQ(P.concreteSubtypes(I).size(), 2u);
+  // Interfaces themselves are never concrete.
+  for (TypeId T : P.concreteSubtypes(I))
+    EXPECT_TRUE(P.type(T).isConcreteClass());
+}
+
+TEST_F(IrTest, AbstractClassExcludedFromConcreteSubtypes) {
+  TypeId Abs = P.addClass("app.Abs", TypeKind::Class, Object, {}, true, true);
+  P.addClass("app.Impl", TypeKind::Class, Abs, {}, false, true);
+  P.finalize();
+  ASSERT_EQ(P.concreteSubtypes(Abs).size(), 1u);
+  EXPECT_EQ(P.type(P.concreteSubtypes(Abs)[0]).Name,
+            Symbols.lookup("app.Impl"));
+}
+
+TEST_F(IrTest, VirtualDispatchWalksSuperclasses) {
+  // A.m() overridden in C but not B.
+  MethodBuilder MA = P.addMethod(A, "m", {}, TypeId::invalid());
+  MethodBuilder MC = P.addMethod(C, "m", {}, TypeId::invalid());
+  P.finalize();
+
+  Symbol Sig = P.signatureKey("m", {});
+  EXPECT_EQ(P.resolveVirtual(A, Sig), MA.id());
+  EXPECT_EQ(P.resolveVirtual(B, Sig), MA.id()); // inherited
+  EXPECT_EQ(P.resolveVirtual(C, Sig), MC.id()); // overridden
+}
+
+TEST_F(IrTest, DispatchDistinguishesOverloadsByParams) {
+  MethodBuilder M0 = P.addMethod(A, "f", {}, TypeId::invalid());
+  MethodBuilder M1 = P.addMethod(A, "f", {Object}, TypeId::invalid());
+  P.finalize();
+  EXPECT_EQ(P.resolveVirtual(A, P.signatureKey("f", {})), M0.id());
+  EXPECT_EQ(P.resolveVirtual(A, P.signatureKey("f", {Object})), M1.id());
+}
+
+TEST_F(IrTest, AbstractMethodDoesNotResolve) {
+  P.addMethod(A, "g", {}, TypeId::invalid(), false, /*IsAbstract=*/true);
+  P.finalize();
+  EXPECT_FALSE(P.resolveVirtual(A, P.signatureKey("g", {})).isValid());
+}
+
+TEST_F(IrTest, UnknownSignatureDoesNotResolve) {
+  P.finalize();
+  EXPECT_FALSE(P.resolveVirtual(C, P.signatureKey("nothing", {})).isValid());
+}
+
+TEST_F(IrTest, MethodBuilderCreatesThisAndParams) {
+  MethodBuilder MB = P.addMethod(B, "h", {A, I}, TypeId::invalid());
+  const Method &M = P.method(MB.id());
+  ASSERT_TRUE(M.This.isValid());
+  EXPECT_EQ(P.variable(M.This).DeclaredType, B);
+  ASSERT_EQ(M.Params.size(), 2u);
+  EXPECT_EQ(P.variable(M.Params[0]).DeclaredType, A);
+  EXPECT_EQ(P.variable(M.Params[1]).DeclaredType, I);
+}
+
+TEST_F(IrTest, StaticMethodHasNoThis) {
+  MethodBuilder MB =
+      P.addMethod(A, "s", {}, TypeId::invalid(), /*IsStatic=*/true);
+  EXPECT_FALSE(P.method(MB.id()).This.isValid());
+}
+
+TEST_F(IrTest, AllocCreatesSite) {
+  MethodBuilder MB = P.addMethod(A, "mk", {}, Object);
+  VarId V = MB.local("v", Object);
+  MB.alloc(V, B).ret(V);
+  const Method &M = P.method(MB.id());
+  ASSERT_EQ(M.Statements.size(), 2u);
+  const Statement &S = M.Statements[0];
+  EXPECT_EQ(S.Op, Opcode::Alloc);
+  EXPECT_TRUE(S.Site.isValid());
+  EXPECT_EQ(P.allocSite(S.Site).ObjectType, B);
+  EXPECT_EQ(P.allocSite(S.Site).InMethod, MB.id());
+  EXPECT_EQ(P.allocSite(S.Site).Kind, AllocKind::Heap);
+}
+
+TEST_F(IrTest, StringConstCarriesLiteral) {
+  MethodBuilder MB = P.addMethod(A, "str", {}, TypeId::invalid());
+  VarId V = MB.local("s", P.findType("java.lang.String"));
+  MB.stringConst(V, "userService");
+  const Statement &S = P.method(MB.id()).Statements[0];
+  EXPECT_EQ(S.Op, Opcode::StringConst);
+  EXPECT_EQ(Symbols.text(P.allocSite(S.Site).Label), "userService");
+  EXPECT_EQ(P.allocSite(S.Site).Kind, AllocKind::StringConstant);
+}
+
+TEST_F(IrTest, CallsRecordInvokeSites) {
+  MethodBuilder Callee = P.addMethod(A, "callee", {}, TypeId::invalid());
+  (void)Callee;
+  MethodBuilder MB = P.addMethod(A, "caller", {}, TypeId::invalid());
+  MB.virtualCall(VarId::invalid(), MB.thisVar(), "callee", {}, {});
+  const Statement &S = P.method(MB.id()).Statements[0];
+  EXPECT_EQ(S.Op, Opcode::VirtualCall);
+  ASSERT_TRUE(S.Invoke.isValid());
+  EXPECT_EQ(P.invokeSite(S.Invoke).Caller, MB.id());
+  EXPECT_EQ(S.CalleeSignature, P.signatureKey("callee", {}));
+}
+
+TEST_F(IrTest, SyntheticObjectsHaveNoMethod) {
+  AllocSiteId S = P.addSyntheticObject(B, AllocKind::Mock, "mock B");
+  EXPECT_FALSE(P.allocSite(S).InMethod.isValid());
+  EXPECT_EQ(P.allocSite(S).Kind, AllocKind::Mock);
+  EXPECT_EQ(P.allocSite(S).ObjectType, B);
+}
+
+TEST_F(IrTest, AnnotationsAttach) {
+  P.annotateType(A, "org.springframework.stereotype.@Controller");
+  MethodBuilder MB = P.addMethod(A, "m2", {}, TypeId::invalid());
+  P.annotateMethod(MB.id(), "org.springframework.@RequestMapping");
+  FieldId F = P.addField(A, "dep", I);
+  P.annotateField(F, "@Autowired");
+
+  EXPECT_EQ(P.type(A).Annotations.size(), 1u);
+  EXPECT_EQ(P.method(MB.id()).Annotations.size(), 1u);
+  EXPECT_EQ(P.field(F).Annotations.size(), 1u);
+}
+
+TEST_F(IrTest, FindFieldSearchesSuperclasses) {
+  FieldId F = P.addField(A, "shared", Object);
+  EXPECT_EQ(P.findField(C, "shared"), F);
+  EXPECT_FALSE(P.findField(A, "absent").isValid());
+}
+
+TEST_F(IrTest, QualifiedName) {
+  MethodBuilder MB = P.addMethod(B, "doGet", {}, TypeId::invalid());
+  EXPECT_EQ(P.qualifiedName(MB.id()), "app.B.doGet");
+}
+
+TEST_F(IrTest, AppConcreteMethodPredicate) {
+  MethodBuilder AppM = P.addMethod(A, "app", {}, TypeId::invalid());
+  TypeId Lib = P.addClass("lib.L", TypeKind::Class, Object);
+  MethodBuilder LibM = P.addMethod(Lib, "lib", {}, TypeId::invalid());
+  MethodBuilder AbsM =
+      P.addMethod(A, "abs", {}, TypeId::invalid(), false, true);
+  EXPECT_TRUE(P.isAppConcreteMethod(AppM.id()));
+  EXPECT_FALSE(P.isAppConcreteMethod(LibM.id()));
+  EXPECT_FALSE(P.isAppConcreteMethod(AbsM.id()));
+}
+
+TEST_F(IrTest, RefinalizeAfterAddition) {
+  P.finalize();
+  EXPECT_TRUE(P.isSubtype(C, A));
+  TypeId D = P.addClass("app.D", TypeKind::Class, C, {}, false, true);
+  P.finalize();
+  EXPECT_TRUE(P.isSubtype(D, A));
+  EXPECT_EQ(P.concreteSubtypes(A).size(), 4u);
+}
+
+/// Property sweep: in a linear chain of depth N, the deepest type is a
+/// subtype of all ancestors and concreteSubtypes counts match depth.
+class ChainHierarchyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainHierarchyTest, LinearChainInvariants) {
+  int Depth = GetParam();
+  SymbolTable Symbols;
+  Program P(Symbols);
+  TypeId Root =
+      P.addClass("java.lang.Object", TypeKind::Class, TypeId::invalid());
+  std::vector<TypeId> Chain{Root};
+  for (int I = 1; I <= Depth; ++I)
+    Chain.push_back(P.addClass("app.T" + std::to_string(I), TypeKind::Class,
+                               Chain.back(), {}, false, true));
+  P.finalize();
+
+  for (int I = 0; I <= Depth; ++I)
+    for (int J = 0; J <= Depth; ++J)
+      EXPECT_EQ(P.isSubtype(Chain[I], Chain[J]), I >= J);
+  // Every type's concrete subtypes are the chain below (inclusive).
+  for (int I = 0; I <= Depth; ++I)
+    EXPECT_EQ(P.concreteSubtypes(Chain[I]).size(),
+              static_cast<size_t>(Depth - I + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChainHierarchyTest,
+                         ::testing::Values(1, 2, 5, 10, 40));
+
+} // namespace

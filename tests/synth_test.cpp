@@ -1,0 +1,154 @@
+//===- synth_test.cpp - Synthetic benchmark suite tests --------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synth/SynthApp.h"
+
+#include <gtest/gtest.h>
+
+using namespace jackee;
+using namespace jackee::core;
+using namespace jackee::synth;
+
+namespace {
+
+/// Builds one app's program without running any analysis.
+struct BuiltApp {
+  SymbolTable Symbols;
+  std::unique_ptr<ir::Program> P;
+  javalib::JavaLib L;
+  frameworks::FrameworkLib F;
+  std::vector<std::pair<std::string, std::string>> Configs;
+};
+
+std::unique_ptr<BuiltApp> buildOnly(BenchApp App) {
+  auto B = std::make_unique<BuiltApp>();
+  B->P = std::make_unique<ir::Program>(B->Symbols);
+  B->L = javalib::buildJavaLibrary(*B->P, false);
+  B->F = frameworks::buildFrameworkLibrary(*B->P, B->L);
+  Application A = applicationFor(App);
+  B->Configs = A.Populate(*B->P, B->L, B->F);
+  B->P->finalize();
+  return B;
+}
+
+uint32_t appClassCount(const ir::Program &P) {
+  uint32_t Count = 0;
+  for (uint32_t I = 0; I != P.typeCount(); ++I)
+    if (P.type(ir::TypeId(I)).IsApplication)
+      ++Count;
+  return Count;
+}
+
+TEST(SynthTest, AllBenchmarksBuildAndFinalize) {
+  for (int I = 0; I != 8; ++I) {
+    auto B = buildOnly(static_cast<BenchApp>(I));
+    EXPECT_GT(appClassCount(*B->P), 10u);
+  }
+}
+
+TEST(SynthTest, ProfilesMatchPaperSizeOrdering) {
+  // Paper app-class ordering: alfresco > dotCMS > opencms > shopizer >
+  // bitbucket > pybbs > SpringBlog ~ WebGoat.
+  auto classCount = [](BenchApp App) {
+    return appClassCount(*buildOnly(App)->P);
+  };
+  uint32_t Alfresco = classCount(BenchApp::Alfresco);
+  uint32_t DotCms = classCount(BenchApp::DotCMS);
+  uint32_t OpenCms = classCount(BenchApp::OpenCms);
+  uint32_t Shopizer = classCount(BenchApp::Shopizer);
+  uint32_t Bitbucket = classCount(BenchApp::Bitbucket);
+  uint32_t Pybbs = classCount(BenchApp::Pybbs);
+  uint32_t Blog = classCount(BenchApp::SpringBlog);
+  EXPECT_GT(Alfresco, DotCms);
+  EXPECT_GT(DotCms, OpenCms);
+  EXPECT_GT(OpenCms, Shopizer);
+  EXPECT_GT(Shopizer, Bitbucket);
+  EXPECT_GT(Bitbucket, Pybbs);
+  EXPECT_GT(Pybbs, Blog);
+}
+
+TEST(SynthTest, FrameworkMixMatchesProfiles) {
+  // alfresco: XML-driven, no Spring controllers, no servlet subtypes.
+  {
+    auto B = buildOnly(BenchApp::Alfresco);
+    EXPECT_FALSE(B->P->findType("app.web.Controller0").isValid());
+    EXPECT_FALSE(B->P->findType("app.web.Servlet0").isValid());
+    EXPECT_TRUE(B->P->findType("app.rest.Resource0").isValid());
+    EXPECT_TRUE(B->P->findType("app.xml.Component0").isValid());
+    bool HasBeansXml = false;
+    for (auto &[Name, Text] : B->Configs)
+      if (Name == "beans.xml")
+        HasBeansXml = true;
+    EXPECT_TRUE(HasBeansXml);
+  }
+  // pybbs: pure annotation-driven Spring, no XML configs at all.
+  {
+    auto B = buildOnly(BenchApp::Pybbs);
+    EXPECT_TRUE(B->P->findType("app.web.Controller0").isValid());
+    EXPECT_TRUE(B->Configs.empty());
+  }
+  // dotCMS: struts actions present.
+  {
+    auto B = buildOnly(BenchApp::DotCMS);
+    EXPECT_TRUE(B->P->findType("app.action.Action0").isValid());
+    bool HasStrutsXml = false;
+    for (auto &[Name, Text] : B->Configs)
+      if (Name == "struts.xml")
+        HasStrutsXml = true;
+    EXPECT_TRUE(HasStrutsXml);
+  }
+  // WebGoat: servlet-centric.
+  {
+    auto B = buildOnly(BenchApp::WebGoat);
+    EXPECT_TRUE(B->P->findType("app.web.Servlet0").isValid());
+    EXPECT_FALSE(B->P->findType("app.web.Controller0").isValid());
+  }
+}
+
+TEST(SynthTest, GeneratedConfigsParse) {
+  for (int I = 0; I != 8; ++I) {
+    auto B = buildOnly(static_cast<BenchApp>(I));
+    for (auto &[Name, Text] : B->Configs) {
+      xml::ParseResult R = xml::Parser::parse(Text);
+      EXPECT_TRUE(R.ok()) << profileFor(static_cast<BenchApp>(I)).Name << "/"
+                          << Name << ": " << R.Error;
+    }
+  }
+}
+
+TEST(SynthTest, GenerationIsDeterministic) {
+  auto A = buildOnly(BenchApp::Shopizer);
+  auto B = buildOnly(BenchApp::Shopizer);
+  EXPECT_EQ(A->P->typeCount(), B->P->typeCount());
+  EXPECT_EQ(A->P->methodCount(), B->P->methodCount());
+  EXPECT_EQ(A->P->variableCount(), B->P->variableCount());
+  EXPECT_EQ(A->Configs, B->Configs);
+  // Same names in the same order.
+  for (uint32_t I = 0; I != A->P->typeCount(); ++I)
+    EXPECT_EQ(
+        A->Symbols.text(A->P->type(ir::TypeId(I)).Name),
+        B->Symbols.text(B->P->type(ir::TypeId(I)).Name));
+}
+
+TEST(SynthTest, CustomProfileHook) {
+  static SynthProfile Prof = profileFor(BenchApp::WebGoat);
+  Prof.Name = "custom";
+  Prof.Services = 2;
+  Application App = applicationForProfile(Prof);
+  EXPECT_EQ(App.Name, "custom");
+  Metrics M = runAnalysis(App, AnalysisKind::CI);
+  EXPECT_GT(M.AppReachableMethods, 0u);
+}
+
+TEST(SynthTest, DeadClassesStayDead) {
+  Application App = applicationFor(BenchApp::SpringBlog);
+  Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH);
+  // The profile has dead classes; reachability must be strictly below 100%.
+  EXPECT_LT(M.reachabilityPercent(), 100.0);
+  EXPECT_GT(M.reachabilityPercent(), 30.0);
+}
+
+} // namespace
