@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mock_policy.dir/bench/ablation_mock_policy.cpp.o"
+  "CMakeFiles/ablation_mock_policy.dir/bench/ablation_mock_policy.cpp.o.d"
+  "bench/ablation_mock_policy"
+  "bench/ablation_mock_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mock_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_treenode.dir/bench/ablation_treenode.cpp.o"
+  "CMakeFiles/ablation_treenode.dir/bench/ablation_treenode.cpp.o.d"
+  "bench/ablation_treenode"
+  "bench/ablation_treenode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_treenode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

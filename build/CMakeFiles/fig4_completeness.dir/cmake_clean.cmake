@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_completeness.dir/bench/fig4_completeness.cpp.o"
+  "CMakeFiles/fig4_completeness.dir/bench/fig4_completeness.cpp.o.d"
+  "bench/fig4_completeness"
+  "bench/fig4_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

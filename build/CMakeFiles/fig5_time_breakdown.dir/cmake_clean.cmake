@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_time_breakdown.dir/bench/fig5_time_breakdown.cpp.o"
+  "CMakeFiles/fig5_time_breakdown.dir/bench/fig5_time_breakdown.cpp.o.d"
+  "bench/fig5_time_breakdown"
+  "bench/fig5_time_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_datalog.dir/bench/micro_datalog.cpp.o"
+  "CMakeFiles/micro_datalog.dir/bench/micro_datalog.cpp.o.d"
+  "bench/micro_datalog"
+  "bench/micro_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pointsto.dir/bench/micro_pointsto.cpp.o"
+  "CMakeFiles/micro_pointsto.dir/bench/micro_pointsto.cpp.o.d"
+  "bench/micro_pointsto"
+  "bench/micro_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

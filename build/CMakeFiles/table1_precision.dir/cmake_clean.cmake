@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_precision.dir/bench/table1_precision.cpp.o"
+  "CMakeFiles/table1_precision.dir/bench/table1_precision.cpp.o.d"
+  "bench/table1_precision"
+  "bench/table1_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

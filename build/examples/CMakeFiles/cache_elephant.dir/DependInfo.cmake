@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cache_elephant.cpp" "examples/CMakeFiles/cache_elephant.dir/cache_elephant.cpp.o" "gcc" "examples/CMakeFiles/cache_elephant.dir/cache_elephant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jackee_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/jackee_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/jackee_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/facts/CMakeFiles/jackee_facts.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/jackee_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/jackee_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/javalib/CMakeFiles/jackee_javalib.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointsto/CMakeFiles/jackee_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/jackee_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jackee_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_elephant.dir/cache_elephant.cpp.o"
+  "CMakeFiles/cache_elephant.dir/cache_elephant.cpp.o.d"
+  "cache_elephant"
+  "cache_elephant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_elephant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

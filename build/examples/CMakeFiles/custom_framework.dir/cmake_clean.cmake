@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_framework.dir/custom_framework.cpp.o"
+  "CMakeFiles/custom_framework.dir/custom_framework.cpp.o.d"
+  "custom_framework"
+  "custom_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

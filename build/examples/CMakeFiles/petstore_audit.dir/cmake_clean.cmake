@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petstore_audit.dir/petstore_audit.cpp.o"
+  "CMakeFiles/petstore_audit.dir/petstore_audit.cpp.o.d"
+  "petstore_audit"
+  "petstore_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petstore_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

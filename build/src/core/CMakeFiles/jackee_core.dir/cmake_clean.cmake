@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/jackee_core.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/jackee_core.dir/Report.cpp.o"
+  "CMakeFiles/jackee_core.dir/Report.cpp.o.d"
+  "libjackee_core.a"
+  "libjackee_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/Database.cpp" "src/datalog/CMakeFiles/jackee_datalog.dir/Database.cpp.o" "gcc" "src/datalog/CMakeFiles/jackee_datalog.dir/Database.cpp.o.d"
+  "/root/repo/src/datalog/Evaluator.cpp" "src/datalog/CMakeFiles/jackee_datalog.dir/Evaluator.cpp.o" "gcc" "src/datalog/CMakeFiles/jackee_datalog.dir/Evaluator.cpp.o.d"
+  "/root/repo/src/datalog/Parser.cpp" "src/datalog/CMakeFiles/jackee_datalog.dir/Parser.cpp.o" "gcc" "src/datalog/CMakeFiles/jackee_datalog.dir/Parser.cpp.o.d"
+  "/root/repo/src/datalog/Rule.cpp" "src/datalog/CMakeFiles/jackee_datalog.dir/Rule.cpp.o" "gcc" "src/datalog/CMakeFiles/jackee_datalog.dir/Rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/jackee_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_datalog.dir/Database.cpp.o"
+  "CMakeFiles/jackee_datalog.dir/Database.cpp.o.d"
+  "CMakeFiles/jackee_datalog.dir/Evaluator.cpp.o"
+  "CMakeFiles/jackee_datalog.dir/Evaluator.cpp.o.d"
+  "CMakeFiles/jackee_datalog.dir/Parser.cpp.o"
+  "CMakeFiles/jackee_datalog.dir/Parser.cpp.o.d"
+  "CMakeFiles/jackee_datalog.dir/Rule.cpp.o"
+  "CMakeFiles/jackee_datalog.dir/Rule.cpp.o.d"
+  "libjackee_datalog.a"
+  "libjackee_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

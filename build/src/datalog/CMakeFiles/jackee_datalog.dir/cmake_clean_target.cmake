@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjackee_datalog.a"
+)

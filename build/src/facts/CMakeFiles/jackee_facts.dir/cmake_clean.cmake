@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_facts.dir/Extractor.cpp.o"
+  "CMakeFiles/jackee_facts.dir/Extractor.cpp.o.d"
+  "libjackee_facts.a"
+  "libjackee_facts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_facts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/frameworks/CMakeFiles/jackee_frameworks.dir/Rules.cpp.o: \
+ /root/repo/src/frameworks/Rules.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/frameworks/Rules.h

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_frameworks.dir/FrameworkLibrary.cpp.o"
+  "CMakeFiles/jackee_frameworks.dir/FrameworkLibrary.cpp.o.d"
+  "CMakeFiles/jackee_frameworks.dir/FrameworkManager.cpp.o"
+  "CMakeFiles/jackee_frameworks.dir/FrameworkManager.cpp.o.d"
+  "CMakeFiles/jackee_frameworks.dir/Rules.cpp.o"
+  "CMakeFiles/jackee_frameworks.dir/Rules.cpp.o.d"
+  "libjackee_frameworks.a"
+  "libjackee_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

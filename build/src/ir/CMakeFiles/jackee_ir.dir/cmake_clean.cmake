@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_ir.dir/Program.cpp.o"
+  "CMakeFiles/jackee_ir.dir/Program.cpp.o.d"
+  "libjackee_ir.a"
+  "libjackee_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

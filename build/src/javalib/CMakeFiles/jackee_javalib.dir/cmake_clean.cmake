@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_javalib.dir/JavaLibrary.cpp.o"
+  "CMakeFiles/jackee_javalib.dir/JavaLibrary.cpp.o.d"
+  "libjackee_javalib.a"
+  "libjackee_javalib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_javalib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

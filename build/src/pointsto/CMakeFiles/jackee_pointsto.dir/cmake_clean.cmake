@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_pointsto.dir/Context.cpp.o"
+  "CMakeFiles/jackee_pointsto.dir/Context.cpp.o.d"
+  "CMakeFiles/jackee_pointsto.dir/Solver.cpp.o"
+  "CMakeFiles/jackee_pointsto.dir/Solver.cpp.o.d"
+  "libjackee_pointsto.a"
+  "libjackee_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_support.dir/SymbolTable.cpp.o"
+  "CMakeFiles/jackee_support.dir/SymbolTable.cpp.o.d"
+  "libjackee_support.a"
+  "libjackee_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_synth.dir/SynthApp.cpp.o"
+  "CMakeFiles/jackee_synth.dir/SynthApp.cpp.o.d"
+  "libjackee_synth.a"
+  "libjackee_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

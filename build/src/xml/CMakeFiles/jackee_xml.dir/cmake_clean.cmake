@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jackee_xml.dir/Xml.cpp.o"
+  "CMakeFiles/jackee_xml.dir/Xml.cpp.o.d"
+  "libjackee_xml.a"
+  "libjackee_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jackee_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javalib_property_test.dir/javalib_property_test.cpp.o"
+  "CMakeFiles/javalib_property_test.dir/javalib_property_test.cpp.o.d"
+  "javalib_property_test"
+  "javalib_property_test.pdb"
+  "javalib_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javalib_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
