@@ -93,6 +93,62 @@ static void BM_TransitiveClosure(benchmark::State &State) {
 }
 BENCHMARK(BM_TransitiveClosure)->Arg(50)->Arg(100)->Arg(200)->Complexity();
 
+/// Thread-scaling probe for the parallel evaluator. The chain graph above
+/// is inherently serial (one new tuple per round), so this one uses a wide
+/// seeded random graph whose per-round deltas are large enough to chunk
+/// across workers. Run with
+/// `--benchmark_out=BENCH_datalog.json --benchmark_out_format=json` to
+/// capture the scaling trajectory (see EXPERIMENTS.md).
+static void BM_TransitiveClosureThreads(benchmark::State &State) {
+  const int64_t Nodes = State.range(0);
+  const unsigned Threads = static_cast<unsigned>(State.range(1));
+  uint64_t Tuples = 0;
+  double Busy = 0, Wall = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    SymbolTable Symbols;
+    Database DB(Symbols);
+    RuleSet Rules;
+    parseRules(DB, Rules,
+               ".decl edge(a: symbol, b: symbol)\n"
+               ".decl path(a: symbol, b: symbol)\n"
+               "path(x, y) :- edge(x, y).\n"
+               "path(x, z) :- path(x, y), edge(y, z).\n",
+               "bench");
+    // Wide random graph, deterministic seed: ~4 edges per node.
+    uint64_t Rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&Rng] {
+      Rng ^= Rng << 13;
+      Rng ^= Rng >> 7;
+      Rng ^= Rng << 17;
+      return Rng;
+    };
+    for (int64_t I = 0; I != Nodes * 4; ++I)
+      DB.insertFact("edge", {"n" + std::to_string(next() % Nodes),
+                             "n" + std::to_string(next() % Nodes)});
+    Evaluator Eval(DB, Rules, Threads);
+    State.ResumeTiming();
+    Eval.run();
+    benchmark::DoNotOptimize(DB.relation(DB.find("path")).size());
+    State.PauseTiming();
+    Tuples = Eval.stats().TuplesDerived;
+    for (const Evaluator::StratumStats &SS : Eval.stats().Strata) {
+      Wall += SS.WallSeconds;
+      Busy += SS.WorkerBusySeconds;
+    }
+    State.ResumeTiming();
+  }
+  State.counters["tuples"] = static_cast<double>(Tuples);
+  State.counters["threads"] = Threads;
+  if (Threads > 1 && Wall > 0)
+    State.counters["utilization"] = Busy / (Wall * Threads);
+}
+BENCHMARK(BM_TransitiveClosureThreads)
+    ->ArgsProduct({{256, 512}, {1, 2, 4, 8}})
+    ->ArgNames({"nodes", "threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_ParseFrameworkScaleRules(benchmark::State &State) {
   // A rule text comparable to one framework model.
   std::string Text = ".decl ConcreteApplicationClass(c: symbol)\n"

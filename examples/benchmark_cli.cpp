@@ -8,6 +8,8 @@
 //   benchmark_cli                      # list benchmarks and analyses
 //   benchmark_cli webgoat mod-2objH
 //   benchmark_cli alfresco ci 2objH mod-2objH
+//   benchmark_cli --threads=4 --benchmark_out=BENCH_webgoat.json
+//       webgoat ci mod-2objH          # also emit machine-readable JSON
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,9 +17,11 @@
 #include "synth/SynthApp.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 using namespace jackee;
 using namespace jackee::core;
@@ -51,7 +55,13 @@ std::optional<AnalysisKind> parseKind(const char *Text) {
 }
 
 int usage() {
-  std::printf("usage: benchmark_cli <benchmark|dacapo-like> <analysis>...\n\n");
+  std::printf("usage: benchmark_cli [options] <benchmark|dacapo-like> "
+              "<analysis>...\n\n");
+  std::printf("options:\n"
+              "  --threads=N            Datalog evaluation workers "
+              "(default: JACKEE_THREADS or hardware)\n"
+              "  --benchmark_out=FILE   also write metric rows as "
+              "google-benchmark-style JSON\n\n");
   std::printf("benchmarks:");
   for (const NamedApp &A : Apps)
     std::printf(" %s", A.Name);
@@ -62,14 +72,78 @@ int usage() {
   return 1;
 }
 
+/// Writes collected metric rows in the google-benchmark JSON layout
+/// (`{"context": ..., "benchmarks": [{"name": ..., counters...}]}`) so the
+/// same plotting/tracking tooling consumes both micro and end-to-end runs.
+bool writeJson(const std::string &Path, const std::vector<Metrics> &Rows) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::fprintf(Out, "{\n  \"context\": {\n    \"executable\": "
+                    "\"benchmark_cli\"\n  },\n  \"benchmarks\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Metrics &M = Rows[I];
+    std::fprintf(
+        Out,
+        "    {\n"
+        "      \"name\": \"%s/%s\",\n"
+        "      \"run_type\": \"iteration\",\n"
+        "      \"real_time\": %.6f,\n"
+        "      \"time_unit\": \"s\",\n"
+        "      \"reach_percent\": %.4f,\n"
+        "      \"avg_objs_per_var\": %.4f,\n"
+        "      \"call_graph_edges\": %llu,\n"
+        "      \"app_poly_vcalls\": %u,\n"
+        "      \"app_mayfail_casts\": %u,\n"
+        "      \"vpt_tuples_total\": %llu,\n"
+        "      \"java_util_share\": %.6f,\n"
+        "      \"datalog_threads\": %u,\n"
+        "      \"datalog_tuples_derived\": %llu,\n"
+        "      \"datalog_strata\": %u,\n"
+        "      \"datalog_utilization\": %.4f\n"
+        "    }%s\n",
+        M.App.c_str(), M.Analysis.c_str(), M.ElapsedSeconds,
+        M.reachabilityPercent(), M.AvgObjsPerVar,
+        static_cast<unsigned long long>(M.CallGraphEdges), M.AppPolyVCalls,
+        M.AppMayFailCasts, static_cast<unsigned long long>(M.VptTuplesTotal),
+        M.javaUtilShare(), M.DatalogThreads,
+        static_cast<unsigned long long>(M.DatalogTuplesDerived),
+        M.DatalogStrata, M.DatalogUtilization,
+        I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 3)
+  PipelineOptions Options;
+  std::string JsonPath;
+  std::vector<const char *> Positional;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strncmp(Argv[I], "--threads=", 10) == 0) {
+      long N = std::strtol(Argv[I] + 10, nullptr, 10);
+      if (N < 1 || N > 256) {
+        std::printf("error: --threads must be in 1..256\n\n");
+        return usage();
+      }
+      Options.DatalogThreads = static_cast<unsigned>(N);
+    } else if (std::strncmp(Argv[I], "--benchmark_out=", 16) == 0) {
+      JsonPath = Argv[I] + 16;
+    } else if (std::strncmp(Argv[I], "--", 2) == 0) {
+      std::printf("error: unknown option '%s'\n\n", Argv[I]);
+      return usage();
+    } else {
+      Positional.push_back(Argv[I]);
+    }
+  }
+  if (Positional.size() < 2)
     return usage();
 
   std::optional<Application> App;
-  std::string Wanted = Argv[1];
+  std::string Wanted = Positional[0];
   for (char &C : Wanted)
     C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
   for (const NamedApp &A : Apps)
@@ -78,26 +152,36 @@ int main(int Argc, char **Argv) {
   if (Wanted == "dacapo-like")
     App = dacapoLikeApp();
   if (!App) {
-    std::printf("error: unknown benchmark '%s'\n\n", Argv[1]);
+    std::printf("error: unknown benchmark '%s'\n\n", Positional[0]);
     return usage();
   }
 
   std::printf("%-12s %-10s %9s %9s %9s %10s %8s %8s %9s\n", "benchmark",
               "analysis", "reach(%)", "objs/var", "cg-edges", "polyvcall",
               "mayfail", "ju-share", "time(s)");
-  for (int I = 2; I != Argc; ++I) {
-    std::optional<AnalysisKind> Kind = parseKind(Argv[I]);
+  std::vector<Metrics> Rows;
+  for (size_t I = 1; I != Positional.size(); ++I) {
+    std::optional<AnalysisKind> Kind = parseKind(Positional[I]);
     if (!Kind) {
-      std::printf("error: unknown analysis '%s'\n\n", Argv[I]);
+      std::printf("error: unknown analysis '%s'\n\n", Positional[I]);
       return usage();
     }
-    Metrics M = runAnalysis(*App, *Kind);
+    Metrics M = runAnalysis(*App, *Kind, {}, Options);
     std::printf("%-12s %-10s %9.2f %9.1f %9llu %10u %8u %7.1f%% %9.3f\n",
                 M.App.c_str(), M.Analysis.c_str(), M.reachabilityPercent(),
                 M.AvgObjsPerVar,
                 static_cast<unsigned long long>(M.CallGraphEdges),
                 M.AppPolyVCalls, M.AppMayFailCasts,
                 100.0 * M.javaUtilShare(), M.ElapsedSeconds);
+    Rows.push_back(std::move(M));
+  }
+  if (!JsonPath.empty()) {
+    if (!writeJson(JsonPath, Rows)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu JSON rows to %s\n", Rows.size(),
+                JsonPath.c_str());
   }
   return 0;
 }

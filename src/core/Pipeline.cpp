@@ -153,7 +153,8 @@ void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
 } // namespace
 
 Metrics jackee::core::runAnalysis(const Application &App, AnalysisKind Kind,
-                                  frameworks::MockPolicyOptions MockOptions) {
+                                  frameworks::MockPolicyOptions MockOptions,
+                                  const PipelineOptions &Options) {
   SymbolTable Symbols;
   Program P(Symbols);
   javalib::JavaLib L = javalib::buildJavaLibrary(P, collectionModel(Kind));
@@ -163,7 +164,8 @@ Metrics jackee::core::runAnalysis(const Application &App, AnalysisKind Kind,
       App.Populate(P, L, F);
 
   datalog::Database DB(Symbols);
-  frameworks::FrameworkManager FM(P, DB, MockOptions);
+  frameworks::FrameworkManager FM(P, DB, MockOptions,
+                                  Options.DatalogThreads);
   if (usesBaselineRulesOnly(Kind))
     FM.addServletBaselineOnly();
   else
@@ -201,5 +203,17 @@ Metrics jackee::core::runAnalysis(const Application &App, AnalysisKind Kind,
   M.EntryPointsExercised = FM.stats().EntryPointsExercised;
   M.BeansCreated = FM.stats().BeansCreated;
   M.InjectionsApplied = FM.stats().InjectionsApplied;
+  if (const datalog::Evaluator::Stats *ES = FM.evaluatorStats()) {
+    M.DatalogThreads = ES->Threads;
+    M.DatalogTuplesDerived = ES->TuplesDerived;
+    M.DatalogStrata = ES->StratumCount;
+    double Wall = 0, Busy = 0;
+    for (const datalog::Evaluator::StratumStats &SS : ES->Strata) {
+      Wall += SS.WallSeconds;
+      Busy += SS.WorkerBusySeconds;
+    }
+    M.DatalogUtilization =
+        Wall > 0 && ES->Threads > 1 ? Busy / (Wall * ES->Threads) : 0.0;
+  }
   return M;
 }

@@ -124,13 +124,28 @@ struct Metrics {
   // Solver effort (for ablations and sanity checks).
   uint64_t SolverWorkItems = 0;
   uint64_t SolverEdges = 0;
+
+  // Datalog engine effort (parallel evaluation observability).
+  unsigned DatalogThreads = 1;       ///< resolved evaluator worker count
+  uint64_t DatalogTuplesDerived = 0; ///< tuples derived by framework rules
+  uint32_t DatalogStrata = 0;
+  double DatalogUtilization = 0;     ///< busy / (wall × workers), 0 if seq.
+};
+
+/// Cross-cutting pipeline knobs (as opposed to per-analysis configuration).
+struct PipelineOptions {
+  /// Worker threads for Datalog rule evaluation. 0 resolves the
+  /// `JACKEE_THREADS` environment variable, falling back to
+  /// `hardware_concurrency`; 1 forces the sequential engine.
+  unsigned DatalogThreads = 0;
 };
 
 /// Runs \p Kind on \p App and collects metrics.
 ///
 /// \param MockOptions tuning for the mock policy (ablation benches vary it).
 Metrics runAnalysis(const Application &App, AnalysisKind Kind,
-                    frameworks::MockPolicyOptions MockOptions = {});
+                    frameworks::MockPolicyOptions MockOptions = {},
+                    const PipelineOptions &Options = {});
 
 } // namespace core
 } // namespace jackee

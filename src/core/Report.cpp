@@ -7,6 +7,7 @@
 #include "core/Report.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
 #include <sstream>
 
@@ -93,5 +94,31 @@ std::string jackee::core::summaryReport(const Solver &S) {
       << '\n'
       << "  of which java.util:             "
       << S.varPointsToTuples("java.util") << '\n';
+  return Out.str();
+}
+
+std::string
+jackee::core::evaluatorStatsReport(const datalog::Evaluator::Stats &S) {
+  std::ostringstream Out;
+  Out << "datalog evaluation: " << S.StratumCount << " strata, "
+      << S.TuplesDerived << " tuples derived, " << S.RuleEvaluations
+      << " rule passes, " << S.Threads
+      << (S.Threads == 1 ? " thread (sequential)\n" : " threads\n");
+  if (S.Strata.empty())
+    return Out.str();
+  char Row[128];
+  std::snprintf(Row, sizeof(Row), "  %7s %6s %7s %7s %10s %9s %8s\n",
+                "stratum", "rules", "rounds", "passes", "tuples", "wall(s)",
+                "util(%)");
+  Out << Row;
+  for (size_t I = 0; I != S.Strata.size(); ++I) {
+    const datalog::Evaluator::StratumStats &SS = S.Strata[I];
+    std::snprintf(Row, sizeof(Row),
+                  "  %7zu %6u %7u %7llu %10llu %9.4f %8.1f\n", I, SS.Rules,
+                  SS.Rounds, static_cast<unsigned long long>(SS.RuleEvaluations),
+                  static_cast<unsigned long long>(SS.TuplesDerived),
+                  SS.WallSeconds, 100.0 * SS.utilization(S.Threads));
+    Out << Row;
+  }
   return Out.str();
 }

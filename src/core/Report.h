@@ -14,6 +14,7 @@
 #ifndef JACKEE_CORE_REPORT_H
 #define JACKEE_CORE_REPORT_H
 
+#include "datalog/Evaluator.h"
 #include "pointsto/Solver.h"
 
 #include <string>
@@ -37,6 +38,11 @@ std::string varPointsToReport(const pointsto::Solver &S);
 /// One summary block with the headline counts (reachable methods, edges,
 /// values, contexts) — convenient for logs.
 std::string summaryReport(const pointsto::Solver &S);
+
+/// Renders the Datalog evaluator's per-stratum observability record: one
+/// header line (threads, strata, totals) and one fixed-width row per
+/// stratum (rules, rounds, passes, tuples, wall time, worker utilization).
+std::string evaluatorStatsReport(const datalog::Evaluator::Stats &S);
 
 } // namespace core
 } // namespace jackee

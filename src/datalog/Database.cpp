@@ -12,6 +12,7 @@ using namespace jackee;
 using namespace jackee::datalog;
 
 const std::vector<uint32_t> Relation::EmptyPostings;
+thread_local const Symbol *Relation::Probe = nullptr;
 
 size_t Relation::TupleHash::operator()(uint32_t Index) const {
   const Symbol *T = R->tupleOrProbe(Index);
@@ -49,9 +50,9 @@ bool Relation::insert(std::span<const Symbol> Tuple) {
 
 bool Relation::contains(std::span<const Symbol> Tuple) const {
   assert(Tuple.size() == Arity && "tuple arity mismatch");
-  // `contains` is logically const; the probe pointer is scratch state.
-  auto *Self = const_cast<Relation *>(this);
-  Self->Probe = Tuple.data();
+  // The probe pointer is thread-local scratch state, so concurrent readers
+  // each probe through their own slot.
+  Probe = Tuple.data();
   return Dedup.find(ProbeIndex) != Dedup.end();
 }
 
@@ -74,29 +75,35 @@ void Relation::addToIndex(Index &Idx, uint32_t TupleIndex) {
   Idx.Postings[keyHashFor(Idx, tuple(TupleIndex))].push_back(TupleIndex);
 }
 
+Relation::Index *Relation::findIndex(std::span<const uint32_t> Columns) const {
+  for (const auto &Idx : Indexes)
+    if (std::equal(Idx->Columns.begin(), Idx->Columns.end(), Columns.begin(),
+                   Columns.end()))
+      return Idx.get();
+  return nullptr;
+}
+
+void Relation::ensureIndex(std::span<const uint32_t> Columns) {
+  assert(!Columns.empty() && "index needs at least one column");
+  assert(std::is_sorted(Columns.begin(), Columns.end()) &&
+         "columns must be strictly increasing");
+  if (findIndex(Columns))
+    return;
+  auto NewIndex = std::make_unique<Index>();
+  NewIndex->Columns.assign(Columns.begin(), Columns.end());
+  Index *Found = NewIndex.get();
+  Indexes.push_back(std::move(NewIndex));
+  for (uint32_t I = 0, E = size(); I != E; ++I)
+    addToIndex(*Found, I);
+}
+
 const std::vector<uint32_t> &
 Relation::lookup(std::span<const uint32_t> Columns,
                  std::span<const Symbol> Key) {
   assert(!Columns.empty() && Columns.size() == Key.size() &&
          "column/key shape mismatch");
-  assert(std::is_sorted(Columns.begin(), Columns.end()) &&
-         "columns must be strictly increasing");
-
-  Index *Found = nullptr;
-  for (auto &Idx : Indexes)
-    if (std::equal(Idx->Columns.begin(), Idx->Columns.end(), Columns.begin(),
-                   Columns.end())) {
-      Found = Idx.get();
-      break;
-    }
-  if (!Found) {
-    auto NewIndex = std::make_unique<Index>();
-    NewIndex->Columns.assign(Columns.begin(), Columns.end());
-    Found = NewIndex.get();
-    Indexes.push_back(std::move(NewIndex));
-    for (uint32_t I = 0, E = size(); I != E; ++I)
-      addToIndex(*Found, I);
-  }
+  ensureIndex(Columns);
+  const Index *Found = findIndex(Columns);
 
   auto It = Found->Postings.find(keyHashFor(*Found, Key));
   if (It == Found->Postings.end())
@@ -104,6 +111,17 @@ Relation::lookup(std::span<const uint32_t> Columns,
   // Note: postings are keyed by hash only; callers re-verify the bound
   // columns against each candidate tuple (the evaluator always does).
   return It->second;
+}
+
+const std::vector<uint32_t> *
+Relation::lookupPrebuilt(std::span<const uint32_t> Columns,
+                         std::span<const Symbol> Key) const {
+  assert(Columns.size() == Key.size() && "column/key shape mismatch");
+  const Index *Found = findIndex(Columns);
+  if (!Found)
+    return nullptr;
+  auto It = Found->Postings.find(keyHashFor(*Found, Key));
+  return It == Found->Postings.end() ? &EmptyPostings : &It->second;
 }
 
 RelationId Database::declare(std::string_view Name, uint32_t Arity) {

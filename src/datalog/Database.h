@@ -57,6 +57,10 @@ public:
   bool insert(std::span<const Symbol> Tuple);
 
   /// \returns true if \p Tuple is present.
+  ///
+  /// Thread-safe against concurrent `contains`/`lookupPrebuilt`/`tuple`
+  /// readers (the probe scratch state is thread-local); must not run
+  /// concurrently with `insert`/`lookup`/`ensureIndex`.
   bool contains(std::span<const Symbol> Tuple) const;
 
   /// The tuple at dense index \p Index (pointer into the flat store; valid
@@ -74,6 +78,20 @@ public:
   const std::vector<uint32_t> &lookup(std::span<const uint32_t> Columns,
                                       std::span<const Symbol> Key);
 
+  /// Builds the index over \p Columns now if it does not exist yet. The
+  /// parallel evaluator calls this (single-threaded) for every column set a
+  /// round's join plans can touch, so the worker phase can use
+  /// `lookupPrebuilt` without ever mutating the relation.
+  void ensureIndex(std::span<const uint32_t> Columns);
+
+  /// Read-only postings lookup against an index built earlier via
+  /// `ensureIndex`/`lookup`. \returns nullptr if no index over \p Columns
+  /// exists (callers fall back to a range scan). Safe to call from multiple
+  /// threads as long as no thread mutates the relation.
+  const std::vector<uint32_t> *
+  lookupPrebuilt(std::span<const uint32_t> Columns,
+                 std::span<const Symbol> Key) const;
+
 private:
   struct Index {
     std::vector<uint32_t> Columns;
@@ -83,10 +101,12 @@ private:
   uint64_t keyHashFor(const Index &Idx, const Symbol *Tuple) const;
   uint64_t keyHashFor(const Index &Idx, std::span<const Symbol> Key) const;
   void addToIndex(Index &Idx, uint32_t TupleIndex);
+  Index *findIndex(std::span<const uint32_t> Columns) const;
 
   // Dedup set over tuple indexes; the sentinel `ProbeIndex` refers to the
   // candidate tuple in `Probe` so that membership of a not-yet-stored tuple
-  // can be tested without copying it into the store.
+  // can be tested without copying it into the store. The probe slot is
+  // thread-local so concurrent readers never race on it.
   static constexpr uint32_t ProbeIndex = ~uint32_t(0);
   struct TupleHash {
     const Relation *R;
@@ -103,7 +123,7 @@ private:
   std::string Name;
   uint32_t Arity;
   std::vector<Symbol> Data;
-  const Symbol *Probe = nullptr;
+  static thread_local const Symbol *Probe;
   std::unordered_set<uint32_t, TupleHash, TupleEq> Dedup;
   std::vector<std::unique_ptr<Index>> Indexes;
 

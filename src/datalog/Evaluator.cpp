@@ -6,8 +6,13 @@
 
 #include "datalog/Evaluator.h"
 
+#include "support/WorkQueue.h"
+
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <functional>
+#include <thread>
 
 using namespace jackee;
 using namespace jackee::datalog;
@@ -107,12 +112,46 @@ private:
   uint32_t SccCount = 0;
 };
 
+/// Lexicographic order over flat fixed-arity tuples.
+struct TupleLess {
+  const Symbol *Base;
+  uint32_t Arity;
+  bool operator()(uint32_t Lhs, uint32_t Rhs) const {
+    const Symbol *A = Base + size_t(Lhs) * Arity;
+    const Symbol *B = Base + size_t(Rhs) * Arity;
+    for (uint32_t C = 0; C != Arity; ++C) {
+      if (A[C].rawValue() != B[C].rawValue())
+        return A[C].rawValue() < B[C].rawValue();
+    }
+    return false;
+  }
+};
+
 } // namespace
 
-Evaluator::Evaluator(Database &DB, const RuleSet &Rules)
-    : DB(DB), Rules(Rules) {
-  stratify();
+unsigned Evaluator::defaultThreadCount() {
+  if (const char *Env = std::getenv("JACKEE_THREADS")) {
+    char *End = nullptr;
+    long Value = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && Value >= 1 && Value <= 256)
+      return static_cast<unsigned>(Value);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : std::min(HW, 256u);
 }
+
+Evaluator::Evaluator(Database &DB, const RuleSet &Rules, unsigned Threads)
+    : DB(DB), Rules(Rules),
+      Threads(Threads == 0 ? defaultThreadCount() : std::min(Threads, 256u)) {
+  stratify();
+  EvalStats.Threads = this->Threads;
+  if (this->Threads > 1) {
+    Pool = std::make_unique<WorkerPool>(this->Threads);
+    Staging.resize(this->Threads);
+  }
+}
+
+Evaluator::~Evaluator() = default;
 
 void Evaluator::stratify() {
   uint32_t RelCount = static_cast<uint32_t>(DB.relationCount());
@@ -153,15 +192,62 @@ void Evaluator::stratify() {
       Kept.push_back(std::move(S));
   Strata = std::move(Kept);
   EvalStats.StratumCount = static_cast<uint32_t>(Strata.size());
+  EvalStats.Strata.resize(Strata.size());
+  for (size_t I = 0; I != Strata.size(); ++I)
+    EvalStats.Strata[I].Rules =
+        static_cast<uint32_t>(Strata[I].RuleIndexes.size());
 }
 
 void Evaluator::run() {
   assert(StratificationError.empty() && "running an unstratifiable program");
-  for (const Stratum &S : Strata)
-    runStratum(S);
+  for (size_t I = 0; I != Strata.size(); ++I) {
+    auto Start = std::chrono::steady_clock::now();
+    runStratum(Strata[I], EvalStats.Strata[I]);
+    EvalStats.Strata[I].WallSeconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  }
 }
 
-void Evaluator::runStratum(const Stratum &S) {
+void Evaluator::appendPassTasks(std::vector<Task> &Tasks,
+                                std::vector<JoinPlan> &Plans,
+                                uint32_t RuleIdx, int DeltaAtom,
+                                uint32_t DriveFrom, uint32_t DriveTo) {
+  const Rule &R = Rules.rules()[RuleIdx];
+  uint32_t PlanIdx = static_cast<uint32_t>(Plans.size());
+  Plans.push_back(makeJoinPlan(R, DeltaAtom));
+  const JoinPlan &Plan = Plans.back();
+
+  if (Plan.PositiveOrder.empty()) {
+    // Fact rule: nothing to drive over, one unchunked pass.
+    Tasks.push_back({RuleIdx, DeltaAtom, PlanIdx, 0, 0, /*HasDrive=*/false,
+                     /*FirstChunk=*/true});
+    return;
+  }
+
+  uint32_t Range = DriveTo - DriveFrom;
+  // Chunk the drive range so each worker sees several chunks (dynamic
+  // scheduling balances uneven join costs), but keep chunks large enough
+  // that per-task overhead stays negligible. Threads == 1 never chunks, so
+  // the sequential engine enumerates exactly as before.
+  uint32_t ChunkSize = Range;
+  if (Threads > 1 && Range > 64)
+    ChunkSize = std::max<uint32_t>(64, (Range + Threads * 4 - 1) /
+                                           (Threads * 4));
+  bool First = true;
+  uint32_t From = DriveFrom;
+  do {
+    uint32_t To = Range == 0 ? DriveTo
+                             : std::min(DriveTo, From + ChunkSize);
+    Tasks.push_back({RuleIdx, DeltaAtom, PlanIdx, From, To, /*HasDrive=*/true,
+                     First});
+    First = false;
+    From = To;
+  } while (From < DriveTo);
+}
+
+void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
   uint32_t RelCount = static_cast<uint32_t>(DB.relationCount());
   std::vector<uint32_t> Limit(RelCount), DeltaBegin(RelCount),
       DeltaEnd(RelCount);
@@ -171,14 +257,25 @@ void Evaluator::runStratum(const Stratum &S) {
       Out[Rel] = DB.relation(RelationId(Rel)).size();
   };
 
-  // Naive seed round: everything currently present participates.
+  std::vector<Task> Tasks;
+  std::vector<JoinPlan> Plans;
+
+  // Naive seed round: everything currently present participates; the first
+  // positive atom of each rule drives.
   snapshotSizes(Limit);
   std::vector<uint32_t> SeedStart = Limit;
   for (uint32_t RuleIdx : S.RuleIndexes) {
-    ++EvalStats.RuleEvaluations;
-    evaluateRule(Rules.rules()[RuleIdx], /*DeltaAtom=*/-1, Limit, DeltaBegin,
-                 DeltaEnd);
+    const Rule &R = Rules.rules()[RuleIdx];
+    uint32_t DriveTo = 0;
+    for (const Atom &A : R.Body)
+      if (!A.Negated) {
+        DriveTo = Limit[A.Rel.index()];
+        break;
+      }
+    appendPassTasks(Tasks, Plans, RuleIdx, /*DeltaAtom=*/-1, 0, DriveTo);
   }
+  ++SS.Rounds;
+  executeRound(S, Tasks, Plans, Limit, SS);
 
   // Delta rounds.
   DeltaBegin = SeedStart;
@@ -192,6 +289,8 @@ void Evaluator::runStratum(const Stratum &S) {
       break;
 
     Limit = DeltaEnd;
+    Tasks.clear();
+    Plans.clear();
     for (uint32_t RuleIdx : S.RuleIndexes) {
       const Rule &R = Rules.rules()[RuleIdx];
       for (int AtomIdx = 0; AtomIdx != static_cast<int>(R.Body.size());
@@ -201,31 +300,115 @@ void Evaluator::runStratum(const Stratum &S) {
           continue;
         if (DeltaBegin[A.Rel.index()] == DeltaEnd[A.Rel.index()])
           continue;
-        ++EvalStats.RuleEvaluations;
-        evaluateRule(R, AtomIdx, Limit, DeltaBegin, DeltaEnd);
+        appendPassTasks(Tasks, Plans, RuleIdx, AtomIdx,
+                        DeltaBegin[A.Rel.index()], DeltaEnd[A.Rel.index()]);
       }
     }
+    ++SS.Rounds;
+    executeRound(S, Tasks, Plans, Limit, SS);
 
     DeltaBegin = DeltaEnd;
     snapshotSizes(DeltaEnd);
   }
 }
 
-void Evaluator::evaluateRule(const Rule &R, int DeltaAtom,
+void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
+                             const std::vector<JoinPlan> &Plans,
                              const std::vector<uint32_t> &Limit,
-                             const std::vector<uint32_t> &DeltaBegin,
-                             const std::vector<uint32_t> &DeltaEnd) {
+                             StratumStats &SS) {
+  if (Tasks.empty())
+    return;
+  uint64_t Passes = 0;
+  for (const Task &T : Tasks)
+    if (T.FirstChunk)
+      ++Passes;
+  EvalStats.RuleEvaluations += Passes;
+  SS.RuleEvaluations += Passes;
+
+  if (Threads == 1) {
+    // Sequential engine: direct inserts, lazily built indexes — the exact
+    // pre-parallelization behavior.
+    uint64_t Before = EvalStats.TuplesDerived;
+    for (const Task &T : Tasks)
+      evaluateRule(Rules.rules()[T.RuleIdx], Plans[T.PlanIdx], T.DeltaAtom,
+                   T.DriveFrom, T.DriveTo, T.HasDrive, Limit,
+                   /*Staging=*/nullptr);
+    SS.TuplesDerived += EvalStats.TuplesDerived - Before;
+    return;
+  }
+
+  // Parallel round. Workers must not mutate relations, so build every index
+  // the join plans can touch up front (the drive position of a delta pass
+  // is scanned, not indexed — same as the sequential engine).
+  for (const Task &T : Tasks) {
+    if (!T.FirstChunk)
+      continue;
+    const Rule &R = Rules.rules()[T.RuleIdx];
+    const JoinPlan &Plan = Plans[T.PlanIdx];
+    for (size_t Pos = 0; Pos != Plan.PositiveOrder.size(); ++Pos) {
+      if (Plan.BoundColumns[Pos].empty())
+        continue;
+      if (Pos == 0 && T.DeltaAtom >= 0)
+        continue;
+      const Atom &A = R.Body[Plan.PositiveOrder[Pos]];
+      DB.relation(A.Rel).ensureIndex(Plan.BoundColumns[Pos]);
+    }
+  }
+
+  for (size_t W = 0; W != Threads; ++W)
+    Staging[W].beginRound(DB.relationCount());
+
+  SS.WorkerBusySeconds += Pool->runBatch(
+      static_cast<uint32_t>(Tasks.size()),
+      [&](uint32_t TaskIdx, unsigned Worker) {
+        const Task &T = Tasks[TaskIdx];
+        evaluateRule(Rules.rules()[T.RuleIdx], Plans[T.PlanIdx], T.DeltaAtom,
+                     T.DriveFrom, T.DriveTo, T.HasDrive, Limit,
+                     &Staging[Worker]);
+      });
+
+  uint64_t NewTuples = mergeStaging(S);
+  EvalStats.TuplesDerived += NewTuples;
+  SS.TuplesDerived += NewTuples;
+}
+
+uint64_t Evaluator::mergeStaging(const Stratum &S) {
+  uint64_t NewTuples = 0;
+  std::vector<Symbol> Concat;
+  std::vector<uint32_t> Order;
+  // MemberRels is ascending, so the merge visits relations in a fixed
+  // order; within a relation, staged tuples are sorted lexicographically.
+  // Insertion order is therefore independent of worker scheduling.
+  for (uint32_t Rel : S.MemberRels) {
+    Concat.clear();
+    for (size_t W = 0; W != Staging.size(); ++W) {
+      const std::vector<Symbol> &B = Staging[W].buffer(Rel);
+      Concat.insert(Concat.end(), B.begin(), B.end());
+    }
+    if (Concat.empty())
+      continue;
+    Relation &R = DB.relation(RelationId(Rel));
+    uint32_t Arity = R.arity();
+    uint32_t Count = static_cast<uint32_t>(Concat.size() / Arity);
+    Order.resize(Count);
+    for (uint32_t I = 0; I != Count; ++I)
+      Order[I] = I;
+    std::sort(Order.begin(), Order.end(), TupleLess{Concat.data(), Arity});
+    for (uint32_t I : Order)
+      if (R.insert(std::span<const Symbol>(&Concat[size_t(I) * Arity],
+                                           Arity)))
+        ++NewTuples;
+  }
+  return NewTuples;
+}
+
+void Evaluator::evaluateRule(const Rule &R, const JoinPlan &Plan,
+                             int DeltaAtom, uint32_t DriveFrom,
+                             uint32_t DriveTo, bool HasDrive,
+                             const std::vector<uint32_t> &Limit,
+                             StagingArena *Staging) {
   std::vector<Symbol> Bindings(R.VariableCount);
   std::vector<bool> Bound(R.VariableCount, false);
-
-  // Order: positive atoms (with the delta atom first, so the usually-small
-  // delta drives the join), then negated atoms, then constraints.
-  std::vector<uint32_t> PositiveOrder;
-  if (DeltaAtom >= 0)
-    PositiveOrder.push_back(static_cast<uint32_t>(DeltaAtom));
-  for (uint32_t I = 0; I != R.Body.size(); ++I)
-    if (!R.Body[I].Negated && static_cast<int>(I) != DeltaAtom)
-      PositiveOrder.push_back(I);
 
   auto checkConstraintsAndNegation = [&]() -> bool {
     auto valueOf = [&](const Term &T) {
@@ -254,42 +437,50 @@ void Evaluator::evaluateRule(const Rule &R, int DeltaAtom,
     Tuple.reserve(R.Head.Terms.size());
     for (const Term &T : R.Head.Terms)
       Tuple.push_back(T.isConstant() ? T.Value : Bindings[T.VarIndex]);
+    if (Staging) {
+      // Parallel mode: stage for the barrier merge. Duplicates (within the
+      // round or against existing tuples) are eliminated there; skipping
+      // already-present tuples here just keeps the buffers small — the head
+      // relation is frozen during the round, so `contains` is a safe
+      // concurrent read.
+      if (!DB.relation(R.Head.Rel).contains(Tuple))
+        Staging->emit(R.Head.Rel.index(), Tuple);
+      return;
+    }
     if (DB.relation(R.Head.Rel).insert(Tuple))
       ++EvalStats.TuplesDerived;
   };
 
-  // Recursive nested-loop join over PositiveOrder.
+  // Recursive nested-loop join over the plan's positive-atom order.
   std::function<void(size_t)> match = [&](size_t Pos) {
-    if (Pos == PositiveOrder.size()) {
+    if (Pos == Plan.PositiveOrder.size()) {
       if (checkConstraintsAndNegation())
         emitHead();
       return;
     }
 
-    uint32_t AtomIdx = PositiveOrder[Pos];
+    uint32_t AtomIdx = Plan.PositiveOrder[Pos];
     const Atom &A = R.Body[AtomIdx];
     Relation &Rel = DB.relation(A.Rel);
     uint32_t RelIdx = A.Rel.index();
 
+    // The drive atom (plan position 0) ranges over its task chunk — the
+    // delta range for a delta pass, the snapshot for a seed pass. Everything
+    // else is capped at the round's snapshot.
     uint32_t From = 0, To = Limit[RelIdx];
-    bool IsDelta = static_cast<int>(AtomIdx) == DeltaAtom;
-    if (IsDelta) {
-      From = DeltaBegin[RelIdx];
-      To = DeltaEnd[RelIdx];
+    if (Pos == 0 && HasDrive) {
+      From = DriveFrom;
+      To = DriveTo;
     }
 
-    // Columns already determined by constants or previously bound variables.
-    std::vector<uint32_t> BoundCols;
+    // Columns already determined by constants or previously bound variables
+    // (static per plan position).
+    const std::vector<uint32_t> &BoundCols = Plan.BoundColumns[Pos];
     std::vector<Symbol> BoundKey;
-    for (uint32_t Col = 0; Col != A.Terms.size(); ++Col) {
+    BoundKey.reserve(BoundCols.size());
+    for (uint32_t Col : BoundCols) {
       const Term &T = A.Terms[Col];
-      if (T.isConstant()) {
-        BoundCols.push_back(Col);
-        BoundKey.push_back(T.Value);
-      } else if (Bound[T.VarIndex]) {
-        BoundCols.push_back(Col);
-        BoundKey.push_back(Bindings[T.VarIndex]);
-      }
+      BoundKey.push_back(T.isConstant() ? T.Value : Bindings[T.VarIndex]);
     }
 
     // Tries one candidate tuple: verify columns, bind free variables,
@@ -317,13 +508,25 @@ void Evaluator::evaluateRule(const Rule &R, int DeltaAtom,
     };
 
     // Index lookup when useful; deltas are small, so scan those directly.
-    if (!BoundCols.empty() && !IsDelta) {
-      const std::vector<uint32_t> &Postings = Rel.lookup(BoundCols, BoundKey);
-      auto Begin = std::lower_bound(Postings.begin(), Postings.end(), From);
-      auto End = std::lower_bound(Postings.begin(), Postings.end(), To);
-      for (auto It = Begin; It != End; ++It)
-        tryTuple(*It);
-      return;
+    bool IsDeltaPos = Pos == 0 && DeltaAtom >= 0;
+    if (!BoundCols.empty() && !IsDeltaPos) {
+      const std::vector<uint32_t> *Postings;
+      if (Staging) {
+        // Parallel mode: read-only lookup against the prebuilt index; a
+        // missing index (defensive — executeRound prebuilds all of them)
+        // falls back to the scan below.
+        Postings = Rel.lookupPrebuilt(BoundCols, BoundKey);
+      } else {
+        Postings = &Rel.lookup(BoundCols, BoundKey);
+      }
+      if (Postings) {
+        auto Begin = std::lower_bound(Postings->begin(), Postings->end(),
+                                      From);
+        auto End = std::lower_bound(Postings->begin(), Postings->end(), To);
+        for (auto It = Begin; It != End; ++It)
+          tryTuple(*It);
+        return;
+      }
     }
     for (uint32_t TupleIdx = From; TupleIdx < To; ++TupleIdx)
       tryTuple(TupleIdx);

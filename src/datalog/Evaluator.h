@@ -13,31 +13,72 @@
 /// consequences — the JackEE bean-wiring loop relies on this (rules consume
 /// analysis results and feed new ones back, Section 3.5 of the paper).
 ///
+/// Evaluation is multi-threaded (the paper's analyses run on Soufflé, whose
+/// value proposition is compiled *parallel* Datalog): each semi-naive
+/// round's rule×delta passes are chunked over the delta range and executed
+/// on a `WorkerPool`. Workers only read relations — derived tuples go to
+/// per-worker staging buffers that are sort-merged into the relations at the
+/// round barrier, so relation contents and iteration behavior are identical
+/// for every thread count (see DESIGN.md §3.2). `Threads == 1` bypasses the
+/// pool entirely and is the exact sequential engine.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JACKEE_DATALOG_EVALUATOR_H
 #define JACKEE_DATALOG_EVALUATOR_H
 
 #include "datalog/Rule.h"
+#include "support/Arena.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace jackee {
+
+class WorkerPool;
+
 namespace datalog {
 
 /// Evaluates a rule set over a database to fixpoint.
 class Evaluator {
 public:
+  /// Per-stratum observability record, accumulated across `run()` calls
+  /// (the bean-wiring loop re-runs the evaluator each solver round).
+  struct StratumStats {
+    uint32_t Rules = 0;          ///< rules whose head is in this stratum
+    uint32_t Rounds = 0;         ///< semi-naive rounds (incl. seed rounds)
+    uint64_t RuleEvaluations = 0; ///< rule×delta evaluation passes
+    uint64_t TuplesDerived = 0;  ///< new tuples inserted by rule heads
+    double WallSeconds = 0;      ///< wall time spent in this stratum
+    double WorkerBusySeconds = 0; ///< summed worker busy time (parallel mode)
+
+    /// Fraction of `Workers × wall` the workers were busy; 0 when the
+    /// stratum ran sequentially.
+    double utilization(unsigned Workers) const {
+      return WallSeconds <= 0 || Workers == 0
+                 ? 0.0
+                 : WorkerBusySeconds / (WallSeconds * Workers);
+    }
+  };
+
   struct Stats {
     uint64_t TuplesDerived = 0; ///< new tuples inserted by rule heads
     uint64_t RuleEvaluations = 0; ///< rule×delta evaluation passes
     uint32_t StratumCount = 0;
+    unsigned Threads = 1;          ///< resolved worker count
+    std::vector<StratumStats> Strata; ///< per stratum, in execution order
   };
 
   /// Prepares strata for \p Rules over \p DB's schema.
-  Evaluator(Database &DB, const RuleSet &Rules);
+  ///
+  /// \p Threads selects the worker count: 0 resolves the `JACKEE_THREADS`
+  /// environment variable, falling back to `hardware_concurrency`; 1 runs
+  /// the exact sequential engine (no pool, direct inserts); N > 1 spawns a
+  /// pool of N workers.
+  Evaluator(Database &DB, const RuleSet &Rules, unsigned Threads = 0);
+  ~Evaluator();
 
   /// Checks stratifiability. \returns empty string if OK, else a diagnostic
   /// naming the offending predicate. `run` must not be called on an
@@ -50,6 +91,14 @@ public:
 
   const Stats &stats() const { return EvalStats; }
 
+  /// The resolved worker count (after env var / hardware defaulting).
+  unsigned threadCount() const { return Threads; }
+
+  /// The thread count a `Threads == 0` evaluator resolves to:
+  /// `JACKEE_THREADS` if set to a positive integer, else
+  /// `std::thread::hardware_concurrency()`, clamped to [1, 256].
+  static unsigned defaultThreadCount();
+
 private:
   struct Stratum {
     std::vector<uint32_t> RuleIndexes;  ///< into Rules.rules()
@@ -57,23 +106,60 @@ private:
     std::vector<bool> IsMember;         ///< indexed by relation id
   };
 
-  void stratify();
-  void runStratum(const Stratum &S);
+  /// One unit of parallel work: a (rule, delta-atom) pass restricted to a
+  /// chunk `[DriveFrom, DriveTo)` of the drive atom's tuple range.
+  struct Task {
+    uint32_t RuleIdx;     ///< into Rules.rules()
+    int DeltaAtom;        ///< body index, or -1 for a full (naive) pass
+    uint32_t PlanIdx;     ///< into the round's plan cache
+    uint32_t DriveFrom;   ///< drive-atom tuple range restriction
+    uint32_t DriveTo;
+    bool HasDrive;        ///< false for fact rules (empty positive body)
+    bool FirstChunk;      ///< counts toward RuleEvaluations
+  };
 
-  /// Evaluates one rule. \p DeltaAtom is the body index of the atom
-  /// restricted to its relation's `[DeltaBegin, DeltaEnd)` range, or -1 for
-  /// a full (naive) pass. \p Limit caps the tuple range of every non-delta
-  /// positive atom, indexed by relation id.
-  void evaluateRule(const Rule &R, int DeltaAtom,
+  void stratify();
+  void runStratum(const Stratum &S, StratumStats &SS);
+
+  /// Appends tasks for one (rule, delta) pass to \p Tasks, chunking the
+  /// drive range across workers in parallel mode.
+  void appendPassTasks(std::vector<Task> &Tasks,
+                       std::vector<JoinPlan> &Plans, uint32_t RuleIdx,
+                       int DeltaAtom, uint32_t DriveFrom, uint32_t DriveTo);
+
+  /// Executes one round's task batch: sequentially with direct inserts when
+  /// `Threads == 1`, else on the pool with staged emission and a
+  /// deterministic sort-merge at the barrier.
+  void executeRound(const Stratum &S, const std::vector<Task> &Tasks,
+                    const std::vector<JoinPlan> &Plans,
+                    const std::vector<uint32_t> &Limit, StratumStats &SS);
+
+  /// Merges all workers' staged tuples into the relations in sorted order
+  /// (deterministic regardless of scheduling). \returns new-tuple count.
+  uint64_t mergeStaging(const Stratum &S);
+
+  /// Evaluates one rule over \p Plan. \p DeltaAtom is the body index of the
+  /// delta-restricted atom (or -1 for a full/naive pass); the drive atom
+  /// (first plan position) ranges over `[DriveFrom, DriveTo)` — the delta
+  /// chunk for a delta pass, the snapshot chunk for a seed pass. \p Limit
+  /// caps the tuple range of every other positive atom, indexed by relation
+  /// id. With \p Staging null, derived tuples are inserted directly
+  /// (sequential mode); otherwise they are appended to \p Staging and no
+  /// relation is mutated (parallel mode — lookups use prebuilt indexes).
+  void evaluateRule(const Rule &R, const JoinPlan &Plan, int DeltaAtom,
+                    uint32_t DriveFrom, uint32_t DriveTo, bool HasDrive,
                     const std::vector<uint32_t> &Limit,
-                    const std::vector<uint32_t> &DeltaBegin,
-                    const std::vector<uint32_t> &DeltaEnd);
+                    StagingArena *Staging);
 
   Database &DB;
   const RuleSet &Rules;
   std::vector<Stratum> Strata;
   std::string StratificationError;
   Stats EvalStats;
+
+  unsigned Threads;
+  std::unique_ptr<WorkerPool> Pool;      ///< created when Threads > 1
+  PerWorker<StagingArena> Staging;       ///< one arena per worker
 };
 
 } // namespace datalog

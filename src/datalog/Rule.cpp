@@ -9,6 +9,33 @@
 using namespace jackee;
 using namespace jackee::datalog;
 
+JoinPlan jackee::datalog::makeJoinPlan(const Rule &R, int DeltaAtom) {
+  JoinPlan Plan;
+  if (DeltaAtom >= 0)
+    Plan.PositiveOrder.push_back(static_cast<uint32_t>(DeltaAtom));
+  for (uint32_t I = 0; I != R.Body.size(); ++I)
+    if (!R.Body[I].Negated && static_cast<int>(I) != DeltaAtom)
+      Plan.PositiveOrder.push_back(I);
+
+  std::vector<bool> Bound(R.VariableCount, false);
+  Plan.BoundColumns.resize(Plan.PositiveOrder.size());
+  for (size_t Pos = 0; Pos != Plan.PositiveOrder.size(); ++Pos) {
+    const Atom &A = R.Body[Plan.PositiveOrder[Pos]];
+    for (uint32_t Col = 0; Col != A.Terms.size(); ++Col) {
+      const Term &T = A.Terms[Col];
+      if (T.isConstant() || Bound[T.VarIndex])
+        Plan.BoundColumns[Pos].push_back(Col);
+    }
+    // Variables of this atom are bound for all later positions (repeated
+    // occurrences within the atom are verified per tuple, not via the
+    // bound-column key, matching the evaluator's runtime behavior).
+    for (const Term &T : A.Terms)
+      if (T.isVariable())
+        Bound[T.VarIndex] = true;
+  }
+  return Plan;
+}
+
 std::string RuleSet::add(const Database &DB, Rule R) {
   auto arityError = [&](const Atom &A) -> std::string {
     const Relation &Rel = DB.relation(A.Rel);

@@ -78,6 +78,28 @@ struct Rule {
   std::string Origin;
 };
 
+/// The static join plan for one (rule, delta-atom) evaluation pass.
+///
+/// Semi-naive evaluation visits positive body atoms in a fixed order (the
+/// delta atom first, so the usually-small delta drives the join). Which
+/// columns of each atom are bound when the join reaches it is fully
+/// determined by that order: a variable is bound iff it occurred in an
+/// earlier atom of the plan. Precomputing the bound column sets lets the
+/// evaluator (a) skip per-tuple rediscovery and (b) build every column
+/// index a pass will need *before* fanning the pass out across workers, so
+/// the parallel join phase reads relations without mutating them.
+struct JoinPlan {
+  /// Body indexes of positive atoms in visit order (delta atom first).
+  std::vector<uint32_t> PositiveOrder;
+  /// For each position in `PositiveOrder`: the strictly increasing column
+  /// positions bound by constants or earlier-bound variables.
+  std::vector<std::vector<uint32_t>> BoundColumns;
+};
+
+/// Computes the join plan for evaluating \p R with \p DeltaAtom as the
+/// delta-restricted body atom (-1 for a full/naive pass).
+JoinPlan makeJoinPlan(const Rule &R, int DeltaAtom);
+
 /// A validated collection of rules over one database's relation schema.
 class RuleSet {
 public:

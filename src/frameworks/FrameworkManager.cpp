@@ -19,8 +19,10 @@ using namespace jackee::frameworks;
 using jackee::datalog::RelationId;
 
 FrameworkManager::FrameworkManager(Program &P, datalog::Database &DB,
-                                   MockPolicyOptions Options)
-    : P(P), DB(DB), Options(Options), Facts(DB) {
+                                   MockPolicyOptions Options,
+                                   unsigned DatalogThreads)
+    : P(P), DB(DB), Options(Options), DatalogThreads(DatalogThreads),
+      Facts(DB) {
   std::string Err = addRules("vocabulary.dl", VOCABULARY);
   assert(Err.empty() && "vocabulary must parse");
   (void)Err;
@@ -66,7 +68,7 @@ std::string FrameworkManager::prepare() {
   Facts.extractProgram(P);
   for (const auto &[FileName, Doc] : Configs)
     Facts.extractXml(Doc, FileName);
-  Eval = std::make_unique<datalog::Evaluator>(DB, Rules);
+  Eval = std::make_unique<datalog::Evaluator>(DB, Rules, DatalogThreads);
   if (std::string Err = Eval->validate(); !Err.empty())
     return Err;
   Prepared = true;

@@ -57,9 +57,12 @@ struct MockPolicyOptions {
 class FrameworkManager : public pointsto::Plugin {
 public:
   /// \p P is mutated (synthetic bean/mock objects are added). \p DB must
-  /// share P's symbol table.
+  /// share P's symbol table. \p DatalogThreads is forwarded to the Datalog
+  /// evaluator (0 = `JACKEE_THREADS` env var / hardware concurrency, 1 =
+  /// sequential).
   FrameworkManager(ir::Program &P, datalog::Database &DB,
-                   MockPolicyOptions Options = {});
+                   MockPolicyOptions Options = {},
+                   unsigned DatalogThreads = 0);
 
   /// Registers framework-model rule text. \returns an empty string on
   /// success, else the parse diagnostic. The vocabulary is pre-registered.
@@ -96,6 +99,12 @@ public:
   };
   const Stats &stats() const { return FrameworkStats; }
 
+  /// Per-stratum evaluator observability (see `Evaluator::Stats`); null
+  /// before `prepare()`.
+  const datalog::Evaluator::Stats *evaluatorStats() const {
+    return Eval ? &Eval->stats() : nullptr;
+  }
+
   datalog::Database &database() { return DB; }
 
 private:
@@ -120,6 +129,7 @@ private:
   ir::Program &P;
   datalog::Database &DB;
   MockPolicyOptions Options;
+  unsigned DatalogThreads;
   datalog::RuleSet Rules;
   std::unique_ptr<datalog::Evaluator> Eval;
   facts::Extractor Facts;

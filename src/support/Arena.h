@@ -1,0 +1,92 @@
+//===- Arena.h - Per-worker scratch storage ---------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-worker scratch storage for batch-parallel phases. `PerWorker<T>`
+/// gives each worker a cache-line-padded private slot (no false sharing, no
+/// locks); `StagingArena` is the slot type the Datalog evaluator uses: flat
+/// append-only tuple buffers, one per destination relation, merged into the
+/// shared `Relation` stores at the round barrier. Buffers are cleared but
+/// keep their capacity across rounds, so steady-state rounds allocate
+/// nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_SUPPORT_ARENA_H
+#define JACKEE_SUPPORT_ARENA_H
+
+#include "support/SymbolTable.h"
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jackee {
+
+/// One private `T` per worker, padded to cache-line size so adjacent
+/// workers' slots never share a line.
+template <typename T> class PerWorker {
+public:
+  PerWorker() = default;
+  explicit PerWorker(size_t Workers) : Slots(Workers) {}
+
+  void resize(size_t Workers) { Slots.resize(Workers); }
+  size_t size() const { return Slots.size(); }
+
+  T &operator[](size_t Worker) {
+    assert(Worker < Slots.size() && "worker index out of range");
+    return Slots[Worker].Value;
+  }
+  const T &operator[](size_t Worker) const {
+    assert(Worker < Slots.size() && "worker index out of range");
+    return Slots[Worker].Value;
+  }
+
+private:
+  struct alignas(64) Padded {
+    T Value;
+  };
+  std::vector<Padded> Slots;
+};
+
+/// Flat per-relation staging buffers for tuples derived by one worker
+/// during one semi-naive round. Tuples of relation `R` (arity `a`) are
+/// stored as consecutive runs of `a` symbols in `buffer(R)`.
+class StagingArena {
+public:
+  /// Prepares for a round over a database of \p RelationCount relations:
+  /// clears all buffers (capacity is retained).
+  void beginRound(size_t RelationCount) {
+    if (Buffers.size() < RelationCount)
+      Buffers.resize(RelationCount);
+    for (uint32_t Rel : Touched)
+      Buffers[Rel].clear();
+    Touched.clear();
+  }
+
+  /// Appends \p Tuple to relation \p Rel's staging buffer.
+  void emit(uint32_t Rel, std::span<const Symbol> Tuple) {
+    std::vector<Symbol> &B = Buffers[Rel];
+    if (B.empty())
+      Touched.push_back(Rel);
+    B.insert(B.end(), Tuple.begin(), Tuple.end());
+  }
+
+  /// The staged symbols for \p Rel (flat runs of the relation's arity).
+  const std::vector<Symbol> &buffer(uint32_t Rel) const {
+    static const std::vector<Symbol> Empty;
+    return Rel < Buffers.size() ? Buffers[Rel] : Empty;
+  }
+
+private:
+  std::vector<std::vector<Symbol>> Buffers; ///< indexed by relation id
+  std::vector<uint32_t> Touched;            ///< relations with staged data
+};
+
+} // namespace jackee
+
+#endif // JACKEE_SUPPORT_ARENA_H

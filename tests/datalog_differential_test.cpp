@@ -263,14 +263,17 @@ TEST_P(DifferentialTest, EngineMatchesNaiveReference) {
   NaiveEvaluator Reference(DB, Rules);
   Reference.run();
 
-  Evaluator Engine(DB, Rules);
+  // Randomize the worker count per seed so the differential oracle also
+  // exercises the parallel staging/merge path, not just the sequential one.
+  unsigned Threads = 1 + Rng() % 4;
+  Evaluator Engine(DB, Rules, Threads);
   ASSERT_EQ(Engine.validate(), "");
   Engine.run();
 
   for (uint32_t Rel = 0; Rel != DB.relationCount(); ++Rel)
     EXPECT_EQ(engineContents(DB, Rel), Reference.contents(Rel))
         << "relation " << DB.relation(RelationId(Rel)).name() << " (seed "
-        << GetParam() << ")";
+        << GetParam() << ", threads " << Threads << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
