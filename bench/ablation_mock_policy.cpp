@@ -78,7 +78,7 @@ int main() {
   for (uint32_t Cap : {1u, 4u, 12u, 24u, 48u}) {
     frameworks::MockPolicyOptions Options;
     Options.MaxMockTypesPerParam = Cap;
-    Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH, Options);
+    Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH, Options).value();
     std::printf("%6u %12.2f %12llu %12.4f\n", Cap, M.reachabilityPercent(),
                 static_cast<unsigned long long>(M.SolverWorkItems),
                 M.ElapsedSeconds);

@@ -39,7 +39,7 @@ int main() {
     for (AnalysisKind Kind :
          {AnalysisKind::TwoObjH, AnalysisKind::NoTreeNode2ObjH,
           AnalysisKind::Mod2ObjH}) {
-      Metrics M = runAnalysis(A, Kind);
+      Metrics M = runAnalysis(A, Kind).value();
       std::printf("%-12s %-10s %9.3f %12llu %14llu %9.1f%%\n", M.App.c_str(),
                   M.Analysis.c_str(), M.ElapsedSeconds,
                   static_cast<unsigned long long>(M.SolverWorkItems),

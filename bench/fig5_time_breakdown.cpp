@@ -10,12 +10,17 @@
 // (the paper reports ~70% for WebGoat vs under 20% for desktop apps), and
 // mod-2objH removes most of it (average ~6x total speedup over 2objH).
 //
+// The matrix runs through a shared `core::AnalysisSession` (cached
+// snapshots + job-pool fan-out). Speedups compare per-cell solve times,
+// which are unaffected by which worker ran the cell.
+//
 //===----------------------------------------------------------------------===//
 
-#include "core/Pipeline.h"
+#include "core/Session.h"
 #include "synth/SynthApp.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace jackee;
 using namespace jackee::core;
@@ -26,24 +31,29 @@ int main() {
               "analysis", "time(s)", "j.u.time(s)", "rest(s)", "j.u.share",
               "vpt-tuples");
 
+  std::vector<Application> Apps = synth::allBenchmarks();
+  std::vector<AnalysisKind> Kinds = {AnalysisKind::CI, AnalysisKind::TwoObjH,
+                                     AnalysisKind::Mod2ObjH};
+  AnalysisSession Session;
+  std::vector<AnalysisResult> Results = Session.runMatrix(Apps, Kinds);
+
   double SpeedupSum = 0;
   int SpeedupCount = 0;
-  for (const Application &App : synth::allBenchmarks()) {
+  for (size_t I = 0; I != Apps.size(); ++I) {
     double Time2objH = 0;
-    for (AnalysisKind Kind :
-         {AnalysisKind::CI, AnalysisKind::TwoObjH, AnalysisKind::Mod2ObjH}) {
-      Metrics M = runAnalysis(App, Kind);
+    for (size_t K = 0; K != Kinds.size(); ++K) {
+      Metrics M = Results[I * Kinds.size() + K].value();
       std::printf("%-12s %-10s %9.3f %12.3f %12.3f %9.1f%% %12llu\n",
                   M.App.c_str(), M.Analysis.c_str(), M.ElapsedSeconds,
                   M.javaUtilSeconds(), M.nonJavaUtilSeconds(),
                   100.0 * M.javaUtilShare(),
                   static_cast<unsigned long long>(M.VptTuplesTotal));
-      if (Kind == AnalysisKind::TwoObjH)
+      if (Kinds[K] == AnalysisKind::TwoObjH)
         Time2objH = M.ElapsedSeconds;
-      if (Kind == AnalysisKind::Mod2ObjH && M.ElapsedSeconds > 0) {
+      if (Kinds[K] == AnalysisKind::Mod2ObjH && M.ElapsedSeconds > 0) {
         double Speedup = Time2objH / M.ElapsedSeconds;
         std::printf("%-12s %-10s speedup over 2objH: %.1fx\n",
-                    App.Name.c_str(), "", Speedup);
+                    Apps[I].Name.c_str(), "", Speedup);
         SpeedupSum += Speedup;
         ++SpeedupCount;
       }
@@ -58,7 +68,7 @@ int main() {
   // Section 4 in-text reference: a desktop-style app keeps the java.util
   // share low even under 2objH (DaCapo: typically under 20%).
   Application Desktop = synth::dacapoLikeApp();
-  Metrics Ref = runAnalysis(Desktop, AnalysisKind::TwoObjH);
+  Metrics Ref = Session.run(Desktop, AnalysisKind::TwoObjH).value();
   std::printf("reference: %s under 2objH java.util share %.1f%% "
               "(paper: DaCapo-style apps < 20%%)\n",
               Desktop.Name.c_str(), 100.0 * Ref.javaUtilShare());

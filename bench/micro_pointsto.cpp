@@ -81,7 +81,9 @@ void BM_Solve2ObjH(benchmark::State &State) { runSolve(State, 2, 1); }
 void runMapClients(benchmark::State &State, bool SoundModulo) {
   SymbolTable Symbols;
   Program P(Symbols);
-  javalib::JavaLib L = javalib::buildJavaLibrary(P, SoundModulo);
+  javalib::JavaLib L = javalib::buildJavaLibrary(
+      P, SoundModulo ? javalib::CollectionModel::SoundModulo
+                     : javalib::CollectionModel::OriginalJdk8);
   TypeId AppTy =
       P.addClass("app.Main", TypeKind::Class, L.Object, {}, false, true);
   MethodBuilder Main = P.addMethod(AppTy, "main", {}, TypeId::invalid(), true);

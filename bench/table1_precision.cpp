@@ -10,12 +10,17 @@
 // mod-2objH <= 2objH < ci on precision and mod-2objH much faster than
 // 2objH (paper Table 1).
 //
+// The matrix runs through a shared `core::AnalysisSession`: one cached
+// base-program snapshot per collection model, cells fanned out across the
+// job pool (JACKEE_JOBS).
+//
 //===----------------------------------------------------------------------===//
 
-#include "core/Pipeline.h"
+#include "core/Session.h"
 #include "synth/SynthApp.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace jackee;
 using namespace jackee::core;
@@ -27,10 +32,15 @@ int main() {
               "analysis", "objs/var", "objs/app", "cg-edges", "methods",
               "polyvcall", "/sites", "mayfail", "time(s)");
 
-  for (const Application &App : synth::allBenchmarks()) {
-    for (AnalysisKind Kind :
-         {AnalysisKind::CI, AnalysisKind::TwoObjH, AnalysisKind::Mod2ObjH}) {
-      Metrics M = runAnalysis(App, Kind);
+  std::vector<Application> Apps = synth::allBenchmarks();
+  std::vector<AnalysisKind> Kinds = {AnalysisKind::CI, AnalysisKind::TwoObjH,
+                                     AnalysisKind::Mod2ObjH};
+  AnalysisSession Session;
+  std::vector<AnalysisResult> Results = Session.runMatrix(Apps, Kinds);
+
+  for (size_t I = 0; I != Apps.size(); ++I) {
+    for (size_t K = 0; K != Kinds.size(); ++K) {
+      Metrics M = Results[I * Kinds.size() + K].value();
       std::printf("%-12s %-10s %8.1f %8.1f %10llu %7u %9u %7u %9u %8.2f\n",
                   M.App.c_str(), M.Analysis.c_str(), M.AvgObjsPerVar,
                   M.AvgObjsPerAppVar,

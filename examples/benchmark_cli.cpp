@@ -1,21 +1,27 @@
-//===- benchmark_cli.cpp - Command-line analysis driver --------------------===//
+//===- benchmark_cli.cpp - Command-line batch analysis driver --------------===//
 //
 // Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
 //
-// A small command-line front end over the pipeline: pick a benchmark and
-// one or more analysis configurations, get the paper's metric row(s).
+// A command-line front end over `core::AnalysisSession`: pick any set of
+// benchmarks and analysis configurations, get the paper's metric rows for
+// the full matrix. Cells share cached base-program snapshots and fan out
+// across a job pool.
 //
 //   benchmark_cli                      # list benchmarks and analyses
 //   benchmark_cli webgoat mod-2objH
-//   benchmark_cli alfresco ci 2objH mod-2objH
+//   benchmark_cli webgoat pybbs ci 2objH mod-2objH
+//   benchmark_cli --jobs=4 all ci mod-2objH
 //   benchmark_cli --threads=4 --benchmark_out=BENCH_webgoat.json
 //       webgoat ci mod-2objH          # also emit machine-readable JSON
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "core/Session.h"
 #include "synth/SynthApp.h"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,89 +53,86 @@ constexpr AnalysisKind AllKinds[] = {
     AnalysisKind::NoTreeNode2ObjH, AnalysisKind::Mod2ObjH,
 };
 
-std::optional<AnalysisKind> parseKind(const char *Text) {
+std::string lowered(const std::string &Text) {
+  std::string Out = Text;
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+std::optional<AnalysisKind> parseKind(const std::string &Text) {
   for (AnalysisKind Kind : AllKinds)
-    if (std::strcmp(analysisName(Kind), Text) == 0)
+    if (Text == lowered(analysisName(Kind)))
       return Kind;
   return std::nullopt;
 }
 
 int usage() {
-  std::printf("usage: benchmark_cli [options] <benchmark|dacapo-like> "
-              "<analysis>...\n\n");
+  std::printf("usage: benchmark_cli [options] <benchmark>... <analysis>...\n"
+              "\nRuns the full benchmark x analysis matrix.\n\n");
   std::printf("options:\n"
-              "  --threads=N            Datalog evaluation workers "
-              "(default: JACKEE_THREADS or hardware)\n"
+              "  --jobs=N               matrix workers "
+              "(default: JACKEE_JOBS or hardware)\n"
+              "  --threads=N            per-cell Datalog workers "
+              "(default: 1 when jobs > 1)\n"
+              "  --no-snapshot-cache    rebuild the base program per cell\n"
               "  --benchmark_out=FILE   also write metric rows as "
               "google-benchmark-style JSON\n\n");
   std::printf("benchmarks:");
   for (const NamedApp &A : Apps)
     std::printf(" %s", A.Name);
-  std::printf(" dacapo-like\nanalyses:  ");
+  std::printf(" dacapo-like all\nanalyses:  ");
   for (AnalysisKind Kind : AllKinds)
     std::printf(" %s", analysisName(Kind));
   std::printf("\n");
   return 1;
 }
 
-/// Writes collected metric rows in the google-benchmark JSON layout
-/// (`{"context": ..., "benchmarks": [{"name": ..., counters...}]}`) so the
-/// same plotting/tracking tooling consumes both micro and end-to-end runs.
+/// Writes the collected rows in the google-benchmark JSON layout
+/// (`{"context": ..., "benchmarks": [...]}`), so the same
+/// plotting/tracking tooling consumes both micro and end-to-end runs.
 bool writeJson(const std::string &Path, const std::vector<Metrics> &Rows) {
   std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out)
     return false;
   std::fprintf(Out, "{\n  \"context\": {\n    \"executable\": "
                     "\"benchmark_cli\"\n  },\n  \"benchmarks\": [\n");
-  for (size_t I = 0; I != Rows.size(); ++I) {
-    const Metrics &M = Rows[I];
-    std::fprintf(
-        Out,
-        "    {\n"
-        "      \"name\": \"%s/%s\",\n"
-        "      \"run_type\": \"iteration\",\n"
-        "      \"real_time\": %.6f,\n"
-        "      \"time_unit\": \"s\",\n"
-        "      \"reach_percent\": %.4f,\n"
-        "      \"avg_objs_per_var\": %.4f,\n"
-        "      \"call_graph_edges\": %llu,\n"
-        "      \"app_poly_vcalls\": %u,\n"
-        "      \"app_mayfail_casts\": %u,\n"
-        "      \"vpt_tuples_total\": %llu,\n"
-        "      \"java_util_share\": %.6f,\n"
-        "      \"datalog_threads\": %u,\n"
-        "      \"datalog_tuples_derived\": %llu,\n"
-        "      \"datalog_strata\": %u,\n"
-        "      \"datalog_utilization\": %.4f\n"
-        "    }%s\n",
-        M.App.c_str(), M.Analysis.c_str(), M.ElapsedSeconds,
-        M.reachabilityPercent(), M.AvgObjsPerVar,
-        static_cast<unsigned long long>(M.CallGraphEdges), M.AppPolyVCalls,
-        M.AppMayFailCasts, static_cast<unsigned long long>(M.VptTuplesTotal),
-        M.javaUtilShare(), M.DatalogThreads,
-        static_cast<unsigned long long>(M.DatalogTuplesDerived),
-        M.DatalogStrata, M.DatalogUtilization,
-        I + 1 == Rows.size() ? "" : ",");
-  }
+  for (size_t I = 0; I != Rows.size(); ++I)
+    std::fprintf(Out, "%s%s\n", metricsToJson(Rows[I], 4).c_str(),
+                 I + 1 == Rows.size() ? "" : ",");
   std::fprintf(Out, "  ]\n}\n");
   std::fclose(Out);
   return true;
 }
 
+long parseCount(const char *Text) {
+  long N = std::strtol(Text, nullptr, 10);
+  return (N >= 1 && N <= 256) ? N : -1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  PipelineOptions Options;
+  SessionOptions Options;
   std::string JsonPath;
   std::vector<const char *> Positional;
   for (int I = 1; I != Argc; ++I) {
     if (std::strncmp(Argv[I], "--threads=", 10) == 0) {
-      long N = std::strtol(Argv[I] + 10, nullptr, 10);
-      if (N < 1 || N > 256) {
+      long N = parseCount(Argv[I] + 10);
+      if (N < 0) {
         std::printf("error: --threads must be in 1..256\n\n");
         return usage();
       }
       Options.DatalogThreads = static_cast<unsigned>(N);
+    } else if (std::strncmp(Argv[I], "--jobs=", 7) == 0) {
+      long N = parseCount(Argv[I] + 7);
+      if (N < 0) {
+        std::printf("error: --jobs must be in 1..256\n\n");
+        return usage();
+      }
+      Options.Jobs = static_cast<unsigned>(N);
+    } else if (std::strcmp(Argv[I], "--no-snapshot-cache") == 0) {
+      Options.SnapshotCache = false;
     } else if (std::strncmp(Argv[I], "--benchmark_out=", 16) == 0) {
       JsonPath = Argv[I] + 16;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
@@ -142,45 +145,90 @@ int main(int Argc, char **Argv) {
   if (Positional.size() < 2)
     return usage();
 
-  std::optional<Application> App;
-  std::string Wanted = Positional[0];
-  for (char &C : Wanted)
-    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
-  for (const NamedApp &A : Apps)
-    if (Wanted == A.Name)
-      App = applicationFor(A.App);
-  if (Wanted == "dacapo-like")
-    App = dacapoLikeApp();
-  if (!App) {
-    std::printf("error: unknown benchmark '%s'\n\n", Positional[0]);
+  // Classify positionals: benchmark names first, analyses after. "all"
+  // expands to the paper's eight benchmarks.
+  std::vector<Application> Matrix;
+  std::vector<AnalysisKind> Kinds;
+  for (const char *Arg : Positional) {
+    std::string Wanted = lowered(Arg);
+    if (std::optional<AnalysisKind> Kind = parseKind(Wanted)) {
+      Kinds.push_back(*Kind);
+      continue;
+    }
+    if (Wanted == "all") {
+      for (const NamedApp &A : Apps)
+        Matrix.push_back(applicationFor(A.App));
+      continue;
+    }
+    if (Wanted == "dacapo-like") {
+      Matrix.push_back(dacapoLikeApp());
+      continue;
+    }
+    bool Found = false;
+    for (const NamedApp &A : Apps)
+      if (Wanted == A.Name) {
+        Matrix.push_back(applicationFor(A.App));
+        Found = true;
+      }
+    if (!Found) {
+      std::printf("error: unknown benchmark or analysis '%s'\n\n", Arg);
+      return usage();
+    }
+  }
+  if (Matrix.empty() || Kinds.empty()) {
+    std::printf("error: need at least one benchmark and one analysis\n\n");
     return usage();
   }
 
+  AnalysisSession Session(Options);
   std::printf("%-12s %-10s %9s %9s %9s %10s %8s %8s %9s\n", "benchmark",
               "analysis", "reach(%)", "objs/var", "cg-edges", "polyvcall",
               "mayfail", "ju-share", "time(s)");
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<AnalysisResult> Results = Session.runMatrix(Matrix, Kinds);
+  double MatrixSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
   std::vector<Metrics> Rows;
-  for (size_t I = 1; I != Positional.size(); ++I) {
-    std::optional<AnalysisKind> Kind = parseKind(Positional[I]);
-    if (!Kind) {
-      std::printf("error: unknown analysis '%s'\n\n", Positional[I]);
-      return usage();
+  for (const AnalysisResult &R : Results) {
+    if (!R) {
+      std::fprintf(stderr, "error [%s]: %s\n",
+                   analysisErrorKindName(R.error().Kind),
+                   R.error().Message.c_str());
+      return 1;
     }
-    Metrics M = runAnalysis(*App, *Kind, {}, Options);
+    const Metrics &M = *R;
     std::printf("%-12s %-10s %9.2f %9.1f %9llu %10u %8u %7.1f%% %9.3f\n",
                 M.App.c_str(), M.Analysis.c_str(), M.reachabilityPercent(),
                 M.AvgObjsPerVar,
                 static_cast<unsigned long long>(M.CallGraphEdges),
                 M.AppPolyVCalls, M.AppMayFailCasts,
                 100.0 * M.javaUtilShare(), M.ElapsedSeconds);
-    Rows.push_back(std::move(M));
+    Rows.push_back(M);
   }
+
+  AnalysisSession::CacheStats CS = Session.cacheStats();
+  std::printf("\nmatrix: %zu cells in %.3fs wall (jobs=%u, snapshot cache "
+              "%s)\n",
+              Rows.size(), MatrixSeconds, Session.jobCount(),
+              Options.SnapshotCache ? "on" : "off");
+  if (Options.SnapshotCache)
+    std::printf("snapshots: %llu built (%.3fs), %llu cache hits, %llu "
+                "clones (%.3fs)\n",
+                static_cast<unsigned long long>(CS.SnapshotBuilds),
+                CS.BuildSeconds,
+                static_cast<unsigned long long>(CS.SnapshotHits),
+                static_cast<unsigned long long>(CS.SnapshotClones),
+                CS.CloneSeconds);
+
   if (!JsonPath.empty()) {
     if (!writeJson(JsonPath, Rows)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
       return 1;
     }
-    std::printf("\nwrote %zu JSON rows to %s\n", Rows.size(),
+    std::printf("wrote %zu JSON rows to %s\n", Rows.size(),
                 JsonPath.c_str());
   }
   return 0;

@@ -89,8 +89,8 @@ int main() {
   std::printf("%-12s %10s %12s %14s %12s\n", "analysis", "time(s)",
               "work-items", "j.u. tuples", "j.u. share");
 
-  Metrics Orig = runAnalysis(App, AnalysisKind::TwoObjH);
-  Metrics Mod = runAnalysis(App, AnalysisKind::Mod2ObjH);
+  Metrics Orig = runAnalysis(App, AnalysisKind::TwoObjH).value();
+  Metrics Mod = runAnalysis(App, AnalysisKind::Mod2ObjH).value();
   for (const Metrics *M : {&Orig, &Mod})
     std::printf("%-12s %10.3f %12llu %14llu %11.1f%%\n", M->Analysis.c_str(),
                 M->ElapsedSeconds,

@@ -57,7 +57,8 @@ BeanFieldInjection(target, field, beanClass) :-
 int main() {
   SymbolTable Symbols;
   Program P(Symbols);
-  javalib::JavaLib L = javalib::buildJavaLibrary(P, true);
+  javalib::JavaLib L =
+      javalib::buildJavaLibrary(P, javalib::CollectionModel::SoundModulo);
   frameworks::buildFrameworkLibrary(P, L);
 
   auto appClass = [&](const char *Name) {

@@ -26,7 +26,8 @@ using namespace jackee::pointsto;
 int main() {
   SymbolTable Symbols;
   Program P(Symbols);
-  javalib::JavaLib L = javalib::buildJavaLibrary(P, /*SoundModulo=*/true);
+  javalib::JavaLib L =
+      javalib::buildJavaLibrary(P, javalib::CollectionModel::SoundModulo);
   frameworks::FrameworkLib F = frameworks::buildFrameworkLibrary(P, L);
 
   // --- The pet store ------------------------------------------------------

@@ -68,7 +68,7 @@ int main() {
 
   // Run JackEE's headline configuration: 2-object-sensitive analysis with
   // the sound-modulo-analysis collection models and all framework rules.
-  Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH);
+  Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH).value();
 
   std::printf("analysis            : %s\n", M.Analysis.c_str());
   std::printf("app methods         : %u concrete, %u reachable (%.1f%%)\n",
@@ -82,7 +82,7 @@ int main() {
               M.AvgObjsPerVar, M.AvgObjsPerAppVar);
 
   // Compare with the Doop baseline: no annotation support, no injection.
-  Metrics Doop = runAnalysis(App, AnalysisKind::DoopBaselineCI);
+  Metrics Doop = runAnalysis(App, AnalysisKind::DoopBaselineCI).value();
   std::printf("\nDoop baseline reach : %u of %u app methods (%.1f%%) — the\n"
               "framework rules are what make the controller analyzable.\n",
               Doop.AppReachableMethods, Doop.AppConcreteMethods,

@@ -6,18 +6,13 @@
 
 #include "core/Pipeline.h"
 
-#include "datalog/Database.h"
-#include "support/Hashing.h"
+#include "core/Session.h"
 
-#include <cassert>
-#include <chrono>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace jackee;
 using namespace jackee::core;
-using namespace jackee::ir;
-using namespace jackee::pointsto;
 
 const char *jackee::core::analysisName(AnalysisKind Kind) {
   switch (Kind) {
@@ -37,7 +32,7 @@ const char *jackee::core::analysisName(AnalysisKind Kind) {
   return "?";
 }
 
-SolverConfig jackee::core::solverConfig(AnalysisKind Kind) {
+pointsto::SolverConfig jackee::core::solverConfig(AnalysisKind Kind) {
   switch (Kind) {
   case AnalysisKind::DoopBaselineCI:
   case AnalysisKind::CI:
@@ -71,149 +66,43 @@ bool jackee::core::usesBaselineRulesOnly(AnalysisKind Kind) {
   return Kind == AnalysisKind::DoopBaselineCI;
 }
 
-namespace {
-
-/// Fills the static (program-shape) metric denominators and the dynamic
-/// (analysis-result) numerators.
-void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
-  // Completeness.
-  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
-    MethodId Method(MI);
-    if (!P.isAppConcreteMethod(Method))
-      continue;
-    ++M.AppConcreteMethods;
-    if (S.isMethodReachable(Method))
-      ++M.AppReachableMethods;
+const char *jackee::core::analysisErrorKindName(AnalysisErrorKind Kind) {
+  switch (Kind) {
+  case AnalysisErrorKind::ConfigParse:
+    return "config-parse";
+  case AnalysisErrorKind::RuleParse:
+    return "rule-parse";
+  case AnalysisErrorKind::Stratification:
+    return "stratification";
+  case AnalysisErrorKind::MainClassNotFound:
+    return "main-class-not-found";
+  case AnalysisErrorKind::MainMethodNotFound:
+    return "main-method-not-found";
   }
-  M.ReachableMethodsTotal =
-      static_cast<uint32_t>(S.reachableMethods().size());
-
-  // Precision.
-  M.AvgObjsPerVar = S.averageVarPointsTo(/*AppOnly=*/false);
-  M.AvgObjsPerAppVar = S.averageVarPointsTo(/*AppOnly=*/true);
-  M.CallGraphEdges = S.callGraphEdges().size();
-
-  // Poly v-calls: application virtual invocations with >= 2 resolved
-  // targets. Group call-graph edges by invocation.
-  std::unordered_map<uint32_t, uint32_t> TargetsPerInvoke;
-  for (uint64_t Edge : S.callGraphEdges())
-    ++TargetsPerInvoke[static_cast<uint32_t>(Edge >> 32)];
-  uint32_t AppVCallsStatic = 0;
-  std::unordered_set<uint32_t> AppVirtualInvokes;
-  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
-    const Method &Meth = P.method(MethodId(MI));
-    if (!P.type(Meth.DeclaringType).IsApplication)
-      continue;
-    for (const Statement &Stmt : Meth.Statements)
-      if (Stmt.Op == Opcode::VirtualCall) {
-        ++AppVCallsStatic;
-        AppVirtualInvokes.insert(Stmt.Invoke.index());
-      }
-  }
-  M.AppVirtualCallSites = AppVCallsStatic;
-  for (const auto &[Invoke, Count] : TargetsPerInvoke)
-    if (Count >= 2 && AppVirtualInvokes.count(Invoke))
-      ++M.AppPolyVCalls;
-
-  // Casts: static app count; may-fail when any pointed-to object fails the
-  // target type under any context instance.
-  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
-    const Method &Meth = P.method(MethodId(MI));
-    if (!P.type(Meth.DeclaringType).IsApplication)
-      continue;
-    for (const Statement &Stmt : Meth.Statements)
-      if (Stmt.Op == Opcode::Cast)
-        ++M.AppCasts;
-  }
-  for (const Solver::CastRecord &Rec : S.castRecords()) {
-    if (!Rec.InApplication)
-      continue;
-    bool MayFail = false;
-    for (NodeId N : Rec.SourceNodes) {
-      for (uint32_t Raw : S.pointsTo(N))
-        if (!P.isSubtype(S.valueType(ValueId(Raw)), Rec.TargetType)) {
-          MayFail = true;
-          break;
-        }
-      if (MayFail)
-        break;
-    }
-    if (MayFail)
-      ++M.AppMayFailCasts;
-  }
-
-  // Figure 5 cost attribution.
-  M.VptTuplesTotal = S.varPointsToTuplesTotal();
-  M.VptTuplesJavaUtil = S.varPointsToTuples("java.util");
-
-  M.SolverWorkItems = S.stats().WorkItems;
-  M.SolverEdges = S.stats().EdgesAdded;
+  return "?";
 }
 
-} // namespace
+Metrics AnalysisResult::value() const {
+  if (ok())
+    return *Value;
+  std::fprintf(stderr, "fatal analysis error [%s]: %s\n",
+               analysisErrorKindName(Err->Kind), Err->Message.c_str());
+  std::exit(1);
+}
 
-Metrics jackee::core::runAnalysis(const Application &App, AnalysisKind Kind,
-                                  frameworks::MockPolicyOptions MockOptions,
-                                  const PipelineOptions &Options) {
-  SymbolTable Symbols;
-  Program P(Symbols);
-  javalib::JavaLib L = javalib::buildJavaLibrary(P, collectionModel(Kind));
-  frameworks::FrameworkLib F = frameworks::buildFrameworkLibrary(P, L);
-
-  std::vector<std::pair<std::string, std::string>> Configs =
-      App.Populate(P, L, F);
-
-  datalog::Database DB(Symbols);
-  frameworks::FrameworkManager FM(P, DB, MockOptions,
-                                  Options.DatalogThreads);
-  if (usesBaselineRulesOnly(Kind))
-    FM.addServletBaselineOnly();
-  else
-    FM.addDefaultFrameworks();
-  for (const auto &[Name, Text] : Configs) {
-    std::string Err = FM.addConfigXml(Name, Text);
-    assert(Err.empty() && "synthetic configs must parse");
-    (void)Err;
-  }
-
-  P.finalize();
-  std::string Err = FM.prepare();
-  assert(Err.empty() && "framework rules must stratify");
-  (void)Err;
-
-  Solver S(P, solverConfig(Kind));
-  S.addPlugin(&FM);
-
-  auto Start = std::chrono::steady_clock::now();
-  if (!App.MainClass.empty()) {
-    TypeId MainTy = P.findType(App.MainClass);
-    assert(MainTy.isValid() && "MainClass not found");
-    MethodId Main = P.findMethod(MainTy, "main", {});
-    assert(Main.isValid() && "main() not found on MainClass");
-    S.makeReachable(Main, S.contexts().empty());
-  }
-  S.solve();
-  auto End = std::chrono::steady_clock::now();
-
-  Metrics M;
-  M.App = App.Name;
-  M.Analysis = analysisName(Kind);
-  M.ElapsedSeconds = std::chrono::duration<double>(End - Start).count();
-  collectMetrics(M, P, S);
-  M.EntryPointsExercised = FM.stats().EntryPointsExercised;
-  M.BeansCreated = FM.stats().BeansCreated;
-  M.InjectionsApplied = FM.stats().InjectionsApplied;
-  if (const datalog::Evaluator::Stats *ES = FM.evaluatorStats()) {
-    M.DatalogThreads = ES->Threads;
-    M.DatalogTuplesDerived = ES->TuplesDerived;
-    M.DatalogStrata = ES->StratumCount;
-    double Wall = 0, Busy = 0;
-    for (const datalog::Evaluator::StratumStats &SS : ES->Strata) {
-      Wall += SS.WallSeconds;
-      Busy += SS.WorkerBusySeconds;
-    }
-    M.DatalogUtilization =
-        Wall > 0 && ES->Threads > 1 ? Busy / (Wall * ES->Threads) : 0.0;
-  }
-  return M;
+AnalysisResult jackee::core::runAnalysis(const Application &App,
+                                         AnalysisKind Kind,
+                                         frameworks::MockPolicyOptions
+                                             MockOptions,
+                                         const PipelineOptions &Options) {
+  // A single cell gains nothing from building a snapshot only to clone it
+  // once, so the wrapper session runs cache-less — byte-for-byte the old
+  // build-everything-inline pipeline, minus the asserts.
+  SessionOptions SO;
+  SO.Jobs = 1;
+  SO.DatalogThreads = Options.DatalogThreads;
+  SO.SnapshotCache = false;
+  SO.MockOptions = MockOptions;
+  AnalysisSession Session(SO);
+  return Session.run(App, Kind);
 }

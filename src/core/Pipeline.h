@@ -29,8 +29,11 @@
 #include "javalib/JavaLibrary.h"
 #include "pointsto/Solver.h"
 
+#include <cassert>
 #include <functional>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace jackee {
@@ -75,6 +78,13 @@ struct Application {
   /// If non-empty, the class whose static `main` is seeded as an entry
   /// point (desktop-style applications, the paper's DaCapo reference).
   std::string MainClass;
+
+  /// Additional framework-model rule text registered on top of the
+  /// built-in frameworks, as (file name, rule text) pairs — the
+  /// custom-framework extension point (paper Section 3.2) lifted into the
+  /// pipeline API. Parse and stratification problems surface as
+  /// `AnalysisError`s instead of being unreportable.
+  std::vector<std::pair<std::string, std::string>> ExtraRules;
 };
 
 /// Everything the paper reports per (application, analysis) cell.
@@ -130,6 +140,21 @@ struct Metrics {
   uint64_t DatalogTuplesDerived = 0; ///< tuples derived by framework rules
   uint32_t DatalogStrata = 0;
   double DatalogUtilization = 0;     ///< busy / (wall × workers), 0 if seq.
+
+  // Session cost attribution (`AnalysisSession`): where the cell's wall
+  // time went before solving. `ElapsedSeconds` above remains solve-only.
+  double SnapshotBuildSeconds = 0; ///< base-library build; 0 on cache hits
+  double SnapshotCloneSeconds = 0; ///< snapshot deep-copy; 0 without cache
+  double PopulateSeconds = 0;      ///< app classes + finalize + prepare
+  /// True if this cell reused an already-built base-program snapshot. In
+  /// `runMatrix` the flag is deterministic: exactly the first cell (in
+  /// result order) of each collection model builds, regardless of job
+  /// count or scheduling.
+  bool SnapshotCacheHit = false;
+  double totalSeconds() const {
+    return SnapshotBuildSeconds + SnapshotCloneSeconds + PopulateSeconds +
+           ElapsedSeconds;
+  }
 };
 
 /// Cross-cutting pipeline knobs (as opposed to per-analysis configuration).
@@ -140,12 +165,72 @@ struct PipelineOptions {
   unsigned DatalogThreads = 0;
 };
 
-/// Runs \p Kind on \p App and collects metrics.
+/// What can go wrong assembling and running an analysis. These used to be
+/// `assert`s inside the pipeline — silent wrong results in Release builds;
+/// now every failure mode is a first-class, testable outcome.
+enum class AnalysisErrorKind {
+  ConfigParse,        ///< an application XML configuration failed to parse
+  RuleParse,          ///< `Application::ExtraRules` text failed to parse
+  Stratification,     ///< the combined rule set has unstratifiable negation
+  MainClassNotFound,  ///< `Application::MainClass` names no type
+  MainMethodNotFound, ///< the main class has no `main()` method
+};
+
+/// Stable display name ("config-parse", "stratification", ...).
+const char *analysisErrorKindName(AnalysisErrorKind Kind);
+
+/// A failed analysis: what kind of failure, plus the human diagnostic.
+struct AnalysisError {
+  AnalysisErrorKind Kind;
+  std::string Message;
+};
+
+/// Expected-style outcome of one analysis cell: either `Metrics` or an
+/// `AnalysisError`. Deliberately tiny — `ok()`, `*`/`->` for the metrics,
+/// `error()` for the failure, and `value()` as the fatal-on-error accessor
+/// that CLI drivers and benches use.
+class [[nodiscard]] AnalysisResult {
+public:
+  /*implicit*/ AnalysisResult(Metrics M) : Value(std::move(M)) {}
+  /*implicit*/ AnalysisResult(AnalysisError E) : Err(std::move(E)) {}
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  Metrics &operator*() {
+    assert(ok() && "dereferencing a failed AnalysisResult");
+    return *Value;
+  }
+  const Metrics &operator*() const {
+    assert(ok() && "dereferencing a failed AnalysisResult");
+    return *Value;
+  }
+  Metrics *operator->() { return &**this; }
+  const Metrics *operator->() const { return &**this; }
+
+  const AnalysisError &error() const {
+    assert(!ok() && "error() on a successful AnalysisResult");
+    return *Err;
+  }
+
+  /// The metrics on success; on failure prints the diagnostic to stderr
+  /// and exits. For drivers where an analysis failure is unrecoverable —
+  /// unlike the old `assert`s, the failure is loud in every build type.
+  Metrics value() const;
+
+private:
+  std::optional<Metrics> Value;
+  std::optional<AnalysisError> Err;
+};
+
+/// Runs \p Kind on \p App and collects metrics. Thin wrapper over a
+/// single-cell `core::AnalysisSession` (see Session.h), which is the
+/// batch/caching API underneath.
 ///
 /// \param MockOptions tuning for the mock policy (ablation benches vary it).
-Metrics runAnalysis(const Application &App, AnalysisKind Kind,
-                    frameworks::MockPolicyOptions MockOptions = {},
-                    const PipelineOptions &Options = {});
+AnalysisResult runAnalysis(const Application &App, AnalysisKind Kind,
+                           frameworks::MockPolicyOptions MockOptions = {},
+                           const PipelineOptions &Options = {});
 
 } // namespace core
 } // namespace jackee

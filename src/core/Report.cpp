@@ -122,3 +122,44 @@ jackee::core::evaluatorStatsReport(const datalog::Evaluator::Stats &S) {
   }
   return Out.str();
 }
+
+std::string jackee::core::metricsToJson(const Metrics &M, unsigned Indent) {
+  const std::string Pad(Indent, ' ');
+  std::ostringstream Out;
+  auto field = [&](const char *Name, const std::string &Value, bool Last = false) {
+    Out << Pad << "  \"" << Name << "\": " << Value << (Last ? "\n" : ",\n");
+  };
+  auto num = [](double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    return std::string(Buf);
+  };
+  Out << Pad << "{\n";
+  field("name", "\"" + M.App + "/" + M.Analysis + "\"");
+  field("run_type", "\"iteration\"");
+  field("real_time", num(M.ElapsedSeconds));
+  field("time_unit", "\"s\"");
+  field("reach_percent", num(M.reachabilityPercent()));
+  field("avg_objs_per_var", num(M.AvgObjsPerVar));
+  field("avg_objs_per_app_var", num(M.AvgObjsPerAppVar));
+  field("call_graph_edges", std::to_string(M.CallGraphEdges));
+  field("reachable_methods_total", std::to_string(M.ReachableMethodsTotal));
+  field("app_poly_vcalls", std::to_string(M.AppPolyVCalls));
+  field("app_mayfail_casts", std::to_string(M.AppMayFailCasts));
+  field("vpt_tuples_total", std::to_string(M.VptTuplesTotal));
+  field("java_util_share", num(M.javaUtilShare()));
+  field("entry_points_exercised", std::to_string(M.EntryPointsExercised));
+  field("beans_created", std::to_string(M.BeansCreated));
+  field("injections_applied", std::to_string(M.InjectionsApplied));
+  field("datalog_threads", std::to_string(M.DatalogThreads));
+  field("datalog_tuples_derived", std::to_string(M.DatalogTuplesDerived));
+  field("datalog_strata", std::to_string(M.DatalogStrata));
+  field("datalog_utilization", num(M.DatalogUtilization));
+  field("snapshot_build_seconds", num(M.SnapshotBuildSeconds));
+  field("snapshot_clone_seconds", num(M.SnapshotCloneSeconds));
+  field("populate_seconds", num(M.PopulateSeconds));
+  field("total_seconds", num(M.totalSeconds()));
+  field("snapshot_cache_hit", M.SnapshotCacheHit ? "true" : "false", true);
+  Out << Pad << "}";
+  return Out.str();
+}

@@ -14,6 +14,7 @@
 #ifndef JACKEE_CORE_REPORT_H
 #define JACKEE_CORE_REPORT_H
 
+#include "core/Pipeline.h"
 #include "datalog/Evaluator.h"
 #include "pointsto/Solver.h"
 
@@ -43,6 +44,12 @@ std::string summaryReport(const pointsto::Solver &S);
 /// header line (threads, strata, totals) and one fixed-width row per
 /// stratum (rules, rounds, passes, tuples, wall time, worker utilization).
 std::string evaluatorStatsReport(const datalog::Evaluator::Stats &S);
+
+/// Renders \p M as one google-benchmark-style JSON object (the element
+/// shape of a `"benchmarks"` array): `"name"` is `App/Analysis`, every
+/// metric becomes a counter field. Each line is indented by \p Indent
+/// spaces; no trailing comma or newline, so callers can join rows.
+std::string metricsToJson(const Metrics &M, unsigned Indent = 0);
 
 } // namespace core
 } // namespace jackee

@@ -1,0 +1,321 @@
+//===- Session.cpp --------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+
+#include "datalog/Database.h"
+#include "support/WorkQueue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace jackee;
+using namespace jackee::core;
+using namespace jackee::ir;
+using namespace jackee::pointsto;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Fills the static (program-shape) metric denominators and the dynamic
+/// (analysis-result) numerators.
+void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
+  // Completeness.
+  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
+    MethodId Method(MI);
+    if (!P.isAppConcreteMethod(Method))
+      continue;
+    ++M.AppConcreteMethods;
+    if (S.isMethodReachable(Method))
+      ++M.AppReachableMethods;
+  }
+  M.ReachableMethodsTotal =
+      static_cast<uint32_t>(S.reachableMethods().size());
+
+  // Precision.
+  M.AvgObjsPerVar = S.averageVarPointsTo(/*AppOnly=*/false);
+  M.AvgObjsPerAppVar = S.averageVarPointsTo(/*AppOnly=*/true);
+  M.CallGraphEdges = S.callGraphEdges().size();
+
+  // Poly v-calls: application virtual invocations with >= 2 resolved
+  // targets. Group call-graph edges by invocation.
+  std::unordered_map<uint32_t, uint32_t> TargetsPerInvoke;
+  for (uint64_t Edge : S.callGraphEdges())
+    ++TargetsPerInvoke[static_cast<uint32_t>(Edge >> 32)];
+  uint32_t AppVCallsStatic = 0;
+  std::unordered_set<uint32_t> AppVirtualInvokes;
+  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
+    const Method &Meth = P.method(MethodId(MI));
+    if (!P.type(Meth.DeclaringType).IsApplication)
+      continue;
+    for (const Statement &Stmt : Meth.Statements)
+      if (Stmt.Op == Opcode::VirtualCall) {
+        ++AppVCallsStatic;
+        AppVirtualInvokes.insert(Stmt.Invoke.index());
+      }
+  }
+  M.AppVirtualCallSites = AppVCallsStatic;
+  for (const auto &[Invoke, Count] : TargetsPerInvoke)
+    if (Count >= 2 && AppVirtualInvokes.count(Invoke))
+      ++M.AppPolyVCalls;
+
+  // Casts: static app count; may-fail when any pointed-to object fails the
+  // target type under any context instance.
+  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
+    const Method &Meth = P.method(MethodId(MI));
+    if (!P.type(Meth.DeclaringType).IsApplication)
+      continue;
+    for (const Statement &Stmt : Meth.Statements)
+      if (Stmt.Op == Opcode::Cast)
+        ++M.AppCasts;
+  }
+  for (const Solver::CastRecord &Rec : S.castRecords()) {
+    if (!Rec.InApplication)
+      continue;
+    bool MayFail = false;
+    for (NodeId N : Rec.SourceNodes) {
+      for (uint32_t Raw : S.pointsTo(N))
+        if (!P.isSubtype(S.valueType(ValueId(Raw)), Rec.TargetType)) {
+          MayFail = true;
+          break;
+        }
+      if (MayFail)
+        break;
+    }
+    if (MayFail)
+      ++M.AppMayFailCasts;
+  }
+
+  // Figure 5 cost attribution.
+  M.VptTuplesTotal = S.varPointsToTuplesTotal();
+  M.VptTuplesJavaUtil = S.varPointsToTuples("java.util");
+
+  M.SolverWorkItems = S.stats().WorkItems;
+  M.SolverEdges = S.stats().EdgesAdded;
+}
+
+} // namespace
+
+unsigned AnalysisSession::defaultJobCount() {
+  if (const char *Env = std::getenv("JACKEE_JOBS")) {
+    char *End = nullptr;
+    long Value = std::strtol(Env, &End, 10);
+    if (End != Env && *End == '\0' && Value >= 1 && Value <= 256)
+      return static_cast<unsigned>(Value);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return std::clamp(HW, 1u, 256u);
+}
+
+AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
+  Jobs = Options.Jobs ? std::clamp(Options.Jobs, 1u, 256u)
+                      : defaultJobCount();
+  CellThreads = Options.DatalogThreads ? Options.DatalogThreads
+                                       : (Jobs > 1 ? 1u : 0u);
+}
+
+AnalysisSession::~AnalysisSession() = default;
+
+AnalysisSession::CacheStats AnalysisSession::cacheStats() const {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  return Stats;
+}
+
+const AnalysisSession::Snapshot &
+AnalysisSession::snapshotFor(javalib::CollectionModel Model, bool &WasHit) {
+  std::lock_guard<std::mutex> Lock(CacheMutex);
+  auto It = Cache.find(Model);
+  if (It != Cache.end()) {
+    WasHit = true;
+    return *It->second;
+  }
+  WasHit = false;
+  auto Start = Clock::now();
+  auto Snap = std::make_unique<Snapshot>();
+  Snap->Symbols = std::make_unique<SymbolTable>();
+  Snap->Base = std::make_unique<Program>(*Snap->Symbols);
+  Snap->Lib = javalib::buildJavaLibrary(*Snap->Base, Model);
+  Snap->Frameworks = frameworks::buildFrameworkLibrary(*Snap->Base, Snap->Lib);
+  Snap->BuildSeconds = secondsSince(Start);
+  ++Stats.SnapshotBuilds;
+  Stats.BuildSeconds += Snap->BuildSeconds;
+  return *Cache.emplace(Model, std::move(Snap)).first->second;
+}
+
+AnalysisResult AnalysisSession::runCell(const Application &App,
+                                        AnalysisKind Kind,
+                                        std::optional<bool> HitOverride) {
+  Metrics M;
+  M.App = App.Name;
+  M.Analysis = analysisName(Kind);
+
+  // Base program: cloned from the snapshot cache, or built fresh.
+  std::unique_ptr<SymbolTable> Symbols;
+  std::unique_ptr<Program> Owned;
+  javalib::JavaLib Lib;
+  frameworks::FrameworkLib Fw;
+  if (Options.SnapshotCache) {
+    bool Hit = false;
+    const Snapshot &Snap = snapshotFor(collectionModel(Kind), Hit);
+    auto CloneStart = Clock::now();
+    Symbols = Snap.Symbols->clone();
+    Owned = Snap.Base->clone(*Symbols);
+    M.SnapshotCloneSeconds = secondsSince(CloneStart);
+    Lib = Snap.Lib;
+    Fw = Snap.Frameworks;
+    M.SnapshotCacheHit = HitOverride.value_or(Hit);
+    if (!M.SnapshotCacheHit)
+      M.SnapshotBuildSeconds = Snap.BuildSeconds;
+    {
+      std::lock_guard<std::mutex> Lock(CacheMutex);
+      ++Stats.SnapshotClones;
+      Stats.CloneSeconds += M.SnapshotCloneSeconds;
+      if (M.SnapshotCacheHit)
+        ++Stats.SnapshotHits;
+    }
+  } else {
+    auto BuildStart = Clock::now();
+    Symbols = std::make_unique<SymbolTable>();
+    Owned = std::make_unique<Program>(*Symbols);
+    Lib = javalib::buildJavaLibrary(*Owned, collectionModel(Kind));
+    Fw = frameworks::buildFrameworkLibrary(*Owned, Lib);
+    M.SnapshotBuildSeconds = secondsSince(BuildStart);
+  }
+  Program &P = *Owned;
+
+  // Application assembly. Every failure that used to be an `assert` is an
+  // `AnalysisError` now.
+  auto PopulateStart = Clock::now();
+  std::vector<std::pair<std::string, std::string>> Configs =
+      App.Populate(P, Lib, Fw);
+
+  datalog::Database DB(P.symbols());
+  frameworks::FrameworkManager FM(P, DB, Options.MockOptions, CellThreads);
+  if (usesBaselineRulesOnly(Kind))
+    FM.addServletBaselineOnly();
+  else
+    FM.addDefaultFrameworks();
+  for (const auto &[Name, Text] : App.ExtraRules)
+    if (std::string Err = FM.addRules(Name, Text); !Err.empty())
+      return AnalysisError{AnalysisErrorKind::RuleParse,
+                           App.Name + ": " + Err};
+  for (const auto &[Name, Text] : Configs)
+    if (std::string Err = FM.addConfigXml(Name, Text); !Err.empty())
+      return AnalysisError{AnalysisErrorKind::ConfigParse,
+                           App.Name + "/" + Name + ": " + Err};
+
+  P.finalize();
+  if (std::string Err = FM.prepare(); !Err.empty())
+    return AnalysisError{AnalysisErrorKind::Stratification,
+                         App.Name + ": " + Err};
+
+  Solver S(P, solverConfig(Kind));
+  S.addPlugin(&FM);
+  M.PopulateSeconds = secondsSince(PopulateStart);
+
+  auto Start = Clock::now();
+  if (!App.MainClass.empty()) {
+    TypeId MainTy = P.findType(App.MainClass);
+    if (!MainTy.isValid())
+      return AnalysisError{AnalysisErrorKind::MainClassNotFound,
+                           App.Name + ": main class '" + App.MainClass +
+                               "' not found"};
+    MethodId Main = P.findMethod(MainTy, "main", {});
+    if (!Main.isValid())
+      return AnalysisError{AnalysisErrorKind::MainMethodNotFound,
+                           App.Name + ": no main() on '" + App.MainClass +
+                               "'"};
+    S.makeReachable(Main, S.contexts().empty());
+  }
+  S.solve();
+  M.ElapsedSeconds = secondsSince(Start);
+
+  collectMetrics(M, P, S);
+  M.EntryPointsExercised = FM.stats().EntryPointsExercised;
+  M.BeansCreated = FM.stats().BeansCreated;
+  M.InjectionsApplied = FM.stats().InjectionsApplied;
+  if (const datalog::Evaluator::Stats *ES = FM.evaluatorStats()) {
+    M.DatalogThreads = ES->Threads;
+    M.DatalogTuplesDerived = ES->TuplesDerived;
+    M.DatalogStrata = ES->StratumCount;
+    double Wall = 0, Busy = 0;
+    for (const datalog::Evaluator::StratumStats &SS : ES->Strata) {
+      Wall += SS.WallSeconds;
+      Busy += SS.WorkerBusySeconds;
+    }
+    M.DatalogUtilization =
+        Wall > 0 && ES->Threads > 1 ? Busy / (Wall * ES->Threads) : 0.0;
+  }
+  return M;
+}
+
+AnalysisResult AnalysisSession::run(const Application &App,
+                                    AnalysisKind Kind) {
+  return runCell(App, Kind, std::nullopt);
+}
+
+std::vector<AnalysisResult>
+AnalysisSession::runMatrix(const std::vector<Application> &Apps,
+                           const std::vector<AnalysisKind> &Kinds) {
+  const size_t N = Apps.size() * Kinds.size();
+  std::vector<std::optional<AnalysisResult>> Slots(N);
+  if (N == 0)
+    return {};
+
+  // Deterministic miss attribution: walk cells in result order and build
+  // the snapshot of each collection model at its first use, sequentially,
+  // before any fan-out. Workers then only ever hit the cache, and the
+  // per-cell hit flags don't depend on scheduling.
+  std::vector<bool> BuildsSnapshot(N, false);
+  if (Options.SnapshotCache) {
+    std::set<javalib::CollectionModel> Seen;
+    for (size_t I = 0; I != N; ++I) {
+      javalib::CollectionModel Model =
+          collectionModel(Kinds[I % Kinds.size()]);
+      if (Seen.insert(Model).second) {
+        BuildsSnapshot[I] = true;
+        bool Hit = false;
+        (void)snapshotFor(Model, Hit);
+      }
+    }
+  }
+
+  auto RunOne = [&](uint32_t I) {
+    const Application &App = Apps[I / Kinds.size()];
+    AnalysisKind Kind = Kinds[I % Kinds.size()];
+    std::optional<bool> HitOverride;
+    if (Options.SnapshotCache)
+      HitOverride = !BuildsSnapshot[I];
+    Slots[I] = runCell(App, Kind, HitOverride);
+  };
+
+  unsigned Workers =
+      static_cast<unsigned>(std::min<size_t>(Jobs, N));
+  if (Workers <= 1) {
+    for (uint32_t I = 0; I != N; ++I)
+      RunOne(I);
+  } else {
+    WorkerPool Pool(Workers);
+    Pool.runBatch(static_cast<uint32_t>(N),
+                  [&](uint32_t Task, unsigned) { RunOne(Task); });
+  }
+
+  std::vector<AnalysisResult> Results;
+  Results.reserve(N);
+  for (std::optional<AnalysisResult> &Slot : Slots)
+    Results.push_back(std::move(*Slot));
+  return Results;
+}

@@ -1,0 +1,154 @@
+//===- Session.h - Cached snapshots + batch analysis driver -----*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `AnalysisSession`: the batch analysis API underneath `runAnalysis`.
+///
+/// The paper's evaluation (Section 5) is a *matrix* — every application
+/// run under several analysis configurations. The base program those cells
+/// share (the Java library model plus the enterprise framework API types)
+/// is immutable and identical for every cell with the same collection
+/// model, yet the free-function pipeline rebuilt it from scratch per cell.
+/// A session fixes both inefficiencies:
+///
+///  - **Snapshot cache.** Base programs are built once per
+///    `javalib::CollectionModel` and kept as immutable snapshots
+///    (`SymbolTable` + unfinalized `ir::Program` + the `JavaLib` /
+///    `FrameworkLib` id bundles). Each analysis cell deep-clones the
+///    snapshot — a handful of vector copies — instead of re-running the
+///    library builders, then populates its application on top.
+///
+///  - **Batch matrix driver.** `runMatrix(Apps, Kinds)` fans the cells out
+///    over a `WorkerPool` of `SessionOptions::Jobs` workers (0 resolves
+///    `JACKEE_JOBS`, then `hardware_concurrency`). Cells are independent
+///    (own symbol table, program, database, solver), so results are
+///    returned in deterministic app-major order and are bit-identical to
+///    sequential execution at any job count — including the per-cell
+///    `SnapshotCacheHit` flag, which is attributed to the first cell of
+///    each collection model in result order, not to whichever worker
+///    happened to get there first.
+///
+/// Failure modes (config parse errors, unstratifiable rules, missing main
+/// classes) surface as `AnalysisError`s through `AnalysisResult` instead
+/// of the old Release-silent `assert`s.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_CORE_SESSION_H
+#define JACKEE_CORE_SESSION_H
+
+#include "core/Pipeline.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace jackee {
+namespace core {
+
+/// Session-wide knobs. Per-analysis configuration stays in `AnalysisKind`.
+struct SessionOptions {
+  /// Matrix workers for `runMatrix`. 0 resolves the `JACKEE_JOBS`
+  /// environment variable, falling back to `hardware_concurrency`;
+  /// 1 runs cells inline on the calling thread.
+  unsigned Jobs = 0;
+
+  /// Datalog evaluation workers *per cell* (see `PipelineOptions`).
+  /// 0 picks a default: 1 when the session runs cells in parallel (the
+  /// matrix is the parallelism — nesting a per-cell pool under every
+  /// matrix worker would oversubscribe quadratically), otherwise the
+  /// evaluator's own `JACKEE_THREADS`/hardware default.
+  unsigned DatalogThreads = 0;
+
+  /// Cache and clone base-program snapshots. Disabling rebuilds the base
+  /// program per cell (the pre-session behavior) — kept as an explicit
+  /// mode so equivalence is testable and the cache win is measurable.
+  bool SnapshotCache = true;
+
+  /// Mock-policy tuning, applied to every cell.
+  frameworks::MockPolicyOptions MockOptions;
+};
+
+/// A cache of base-program snapshots plus a parallel batch driver.
+/// Sessions are self-contained and thread-safe with respect to their own
+/// workers; a single session must not be driven from multiple external
+/// threads concurrently.
+class AnalysisSession {
+public:
+  explicit AnalysisSession(SessionOptions Options = {});
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  /// Runs one (application, analysis) cell, reusing the cached snapshot
+  /// for the cell's collection model when the cache is enabled.
+  AnalysisResult run(const Application &App, AnalysisKind Kind);
+
+  /// Runs the full \p Apps × \p Kinds matrix across the session's job
+  /// pool and returns one result per cell in app-major order
+  /// (`Results[A * Kinds.size() + K]`). Results are bit-identical to
+  /// sequential execution at any job count, modulo wall-clock fields.
+  ///
+  /// `Application::Populate` callbacks run concurrently at Jobs > 1 and
+  /// must not mutate state shared across cells.
+  std::vector<AnalysisResult> runMatrix(const std::vector<Application> &Apps,
+                                        const std::vector<AnalysisKind> &Kinds);
+
+  /// Session-lifetime snapshot-cache accounting.
+  struct CacheStats {
+    uint64_t SnapshotBuilds = 0; ///< base programs built (one per model)
+    uint64_t SnapshotHits = 0;   ///< cells served from an existing snapshot
+    uint64_t SnapshotClones = 0; ///< deep copies handed to cells
+    double BuildSeconds = 0;
+    double CloneSeconds = 0;
+  };
+  CacheStats cacheStats() const;
+
+  /// The resolved matrix worker count.
+  unsigned jobCount() const { return Jobs; }
+
+  /// The job count a `Jobs == 0` session resolves to: `JACKEE_JOBS` if set
+  /// to a positive integer, else `std::thread::hardware_concurrency()`,
+  /// clamped to [1, 256].
+  static unsigned defaultJobCount();
+
+private:
+  /// One immutable base program: everything application-independent.
+  struct Snapshot {
+    std::unique_ptr<SymbolTable> Symbols;
+    std::unique_ptr<ir::Program> Base; ///< unfinalized: cells finalize
+                                       ///< after populating the app
+    javalib::JavaLib Lib;
+    frameworks::FrameworkLib Frameworks;
+    double BuildSeconds = 0;
+  };
+
+  /// The snapshot for \p Model, building it on first use. \p WasHit
+  /// reports whether it already existed. Thread-safe.
+  const Snapshot &snapshotFor(javalib::CollectionModel Model, bool &WasHit);
+
+  /// Runs one cell end to end. \p HitOverride, when set, replaces the
+  /// observed cache-hit flag — `runMatrix` uses it to attribute the miss
+  /// to the first cell of each model deterministically.
+  AnalysisResult runCell(const Application &App, AnalysisKind Kind,
+                         std::optional<bool> HitOverride);
+
+  SessionOptions Options;
+  unsigned Jobs = 1;        ///< resolved matrix worker count
+  unsigned CellThreads = 0; ///< resolved per-cell Datalog worker count
+
+  mutable std::mutex CacheMutex;
+  std::map<javalib::CollectionModel, std::unique_ptr<Snapshot>> Cache;
+  CacheStats Stats;
+};
+
+} // namespace core
+} // namespace jackee
+
+#endif // JACKEE_CORE_SESSION_H

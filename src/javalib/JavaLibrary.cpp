@@ -1680,11 +1680,3 @@ JavaLib jackee::javalib::buildJavaLibrary(Program &P,
                                           CollectionModel Model) {
   return LibraryBuilder(P, Model).run();
 }
-
-JavaLib jackee::javalib::buildJavaLibrary(Program &P,
-                                          bool SoundModuloCollections) {
-  return LibraryBuilder(P, SoundModuloCollections
-                               ? CollectionModel::SoundModulo
-                               : CollectionModel::OriginalJdk8)
-      .run();
-}

@@ -80,10 +80,6 @@ enum class CollectionModel {
 /// application-independent roots). Does NOT call `P.finalize()`.
 JavaLib buildJavaLibrary(ir::Program &P, CollectionModel Model);
 
-/// Convenience overload: \p SoundModuloCollections selects between
-/// OriginalJdk8 and SoundModulo.
-JavaLib buildJavaLibrary(ir::Program &P, bool SoundModuloCollections);
-
 } // namespace javalib
 } // namespace jackee
 

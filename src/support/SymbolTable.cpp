@@ -8,6 +8,15 @@
 
 using namespace jackee;
 
+std::unique_ptr<SymbolTable> SymbolTable::clone() const {
+  auto Copy = std::make_unique<SymbolTable>();
+  // Re-intern in id order: the lookup views must point into the *copy's*
+  // deque, so a plain member-wise copy would be wrong.
+  for (const std::string &Text : Strings)
+    Copy->intern(Text);
+  return Copy;
+}
+
 Symbol SymbolTable::intern(std::string_view Text) {
   auto It = Lookup.find(Text);
   if (It != Lookup.end())

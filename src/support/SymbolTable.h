@@ -17,6 +17,7 @@
 #include "support/Id.h"
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -36,6 +37,13 @@ public:
   SymbolTable() = default;
   SymbolTable(const SymbolTable &) = delete;
   SymbolTable &operator=(const SymbolTable &) = delete;
+
+  /// Deep-copies the table. Every symbol of this table keeps its id (and
+  /// therefore its meaning) in the copy — the foundation of base-program
+  /// snapshots, where a cloned `ir::Program` carries its `Symbol` fields
+  /// over to a cloned table verbatim. Tables stay intentionally
+  /// non-copyable; cloning is an explicit, spelled-out act.
+  std::unique_ptr<SymbolTable> clone() const;
 
   /// Interns \p Text, returning the existing symbol if already present.
   Symbol intern(std::string_view Text);

@@ -90,7 +90,7 @@ TEST(AnalysisConfigTest, NamesAndConfigs) {
 }
 
 TEST(PipelineRunTest, TinyAppEndToEnd) {
-  Metrics M = runAnalysis(tinyApp(), AnalysisKind::Mod2ObjH);
+  Metrics M = runAnalysis(tinyApp(), AnalysisKind::Mod2ObjH).value();
   EXPECT_EQ(M.App, "tiny");
   EXPECT_EQ(M.Analysis, "mod-2objH");
   // 6 app concrete methods: Svc.<init>, work, Ctl.<init>, handle, Dead.never.
@@ -107,12 +107,12 @@ TEST(PipelineRunTest, TinyAppEndToEnd) {
 }
 
 TEST(PipelineRunTest, BaselineSeesNothingInAnnotationApp) {
-  Metrics M = runAnalysis(tinyApp(), AnalysisKind::DoopBaselineCI);
+  Metrics M = runAnalysis(tinyApp(), AnalysisKind::DoopBaselineCI).value();
   EXPECT_EQ(M.AppReachableMethods, 0u);
 }
 
 TEST(PipelineRunTest, JavaUtilShareConsistency) {
-  Metrics M = runAnalysis(tinyApp(), AnalysisKind::TwoObjH);
+  Metrics M = runAnalysis(tinyApp(), AnalysisKind::TwoObjH).value();
   EXPECT_GE(M.javaUtilShare(), 0.0);
   EXPECT_LE(M.javaUtilShare(), 1.0);
   EXPECT_NEAR(M.javaUtilSeconds() + M.nonJavaUtilSeconds(), M.ElapsedSeconds,
@@ -124,8 +124,8 @@ TEST(PipelineRunTest, ThreadCountDoesNotChangeResults) {
   PipelineOptions Seq, Par;
   Seq.DatalogThreads = 1;
   Par.DatalogThreads = 8;
-  Metrics A = runAnalysis(tinyApp(), AnalysisKind::Mod2ObjH, {}, Seq);
-  Metrics B = runAnalysis(tinyApp(), AnalysisKind::Mod2ObjH, {}, Par);
+  Metrics A = runAnalysis(tinyApp(), AnalysisKind::Mod2ObjH, {}, Seq).value();
+  Metrics B = runAnalysis(tinyApp(), AnalysisKind::Mod2ObjH, {}, Par).value();
   EXPECT_EQ(A.DatalogThreads, 1u);
   EXPECT_EQ(B.DatalogThreads, 8u);
   // The parallel Datalog engine must be observationally identical: every
@@ -145,7 +145,7 @@ TEST(PipelineRunTest, ThreadCountDoesNotChangeResults) {
 
 TEST(PipelineRunTest, MainClassEntry) {
   Application Desktop = synth::dacapoLikeApp();
-  Metrics M = runAnalysis(Desktop, AnalysisKind::CI);
+  Metrics M = runAnalysis(Desktop, AnalysisKind::CI).value();
   EXPECT_GT(M.AppReachableMethods, 0u);
   // Half the worker chain is dead by construction.
   EXPECT_LT(M.reachabilityPercent(), 100.0);
@@ -157,9 +157,9 @@ class AllAppsSweep : public ::testing::TestWithParam<synth::BenchApp> {};
 
 TEST_P(AllAppsSweep, MetricsInvariants) {
   Application App = synth::applicationFor(GetParam());
-  Metrics CI = runAnalysis(App, AnalysisKind::CI);
-  Metrics Mod = runAnalysis(App, AnalysisKind::Mod2ObjH);
-  Metrics Doop = runAnalysis(App, AnalysisKind::DoopBaselineCI);
+  Metrics CI = runAnalysis(App, AnalysisKind::CI).value();
+  Metrics Mod = runAnalysis(App, AnalysisKind::Mod2ObjH).value();
+  Metrics Doop = runAnalysis(App, AnalysisKind::DoopBaselineCI).value();
 
   // Completeness: JackEE strictly beats the baseline on every benchmark.
   EXPECT_GT(Mod.AppReachableMethods, Doop.AppReachableMethods);
@@ -183,8 +183,8 @@ TEST_P(AllAppsSweep, MetricsInvariants) {
 
 TEST_P(AllAppsSweep, SoundModuloReducesWork) {
   Application App = synth::applicationFor(GetParam());
-  Metrics Orig = runAnalysis(App, AnalysisKind::TwoObjH);
-  Metrics Mod = runAnalysis(App, AnalysisKind::Mod2ObjH);
+  Metrics Orig = runAnalysis(App, AnalysisKind::TwoObjH).value();
+  Metrics Mod = runAnalysis(App, AnalysisKind::Mod2ObjH).value();
   // The paper's scalability claim, on solver effort (robust against wall
   // clock noise): strictly less work and fewer java.util inferences.
   EXPECT_LT(Mod.SolverWorkItems, Orig.SolverWorkItems);
@@ -213,7 +213,7 @@ TEST(ReportTest, DeterministicSortedDumps) {
   Application App = tinyApp();
   SymbolTable Symbols;
   ir::Program P(Symbols);
-  auto L = javalib::buildJavaLibrary(P, true);
+  auto L = javalib::buildJavaLibrary(P, javalib::CollectionModel::SoundModulo);
   auto F = frameworks::buildFrameworkLibrary(P, L);
   auto Configs = App.Populate(P, L, F);
   (void)Configs;

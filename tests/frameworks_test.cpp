@@ -27,7 +27,7 @@ namespace {
 class PipelineTest : public ::testing::Test {
 protected:
   PipelineTest()
-      : DB(Symbols), P(Symbols), L(buildJavaLibrary(P, true)),
+      : DB(Symbols), P(Symbols), L(buildJavaLibrary(P, CollectionModel::SoundModulo)),
         F(buildFrameworkLibrary(P, L)), FM(P, DB) {}
 
   /// App class helper.

@@ -56,7 +56,9 @@ std::unique_ptr<GeneratedClient> generate(uint32_t Seed, bool SoundModulo) {
   auto Client = std::make_unique<GeneratedClient>();
   Client->P = std::make_unique<Program>(Client->Symbols);
   Program &P = *Client->P;
-  Client->L = buildJavaLibrary(P, SoundModulo);
+  Client->L = buildJavaLibrary(P, SoundModulo
+                                    ? CollectionModel::SoundModulo
+                                    : CollectionModel::OriginalJdk8);
   const JavaLib &L = Client->L;
 
   // Payload type pool.

@@ -75,7 +75,8 @@ std::unique_ptr<Scenario> buildClientScenario(bool SoundModulo,
   auto Sc = std::make_unique<Scenario>();
   Sc->P = std::make_unique<Program>(Sc->Symbols);
   Program &P = *Sc->P;
-  Sc->L = buildJavaLibrary(P, SoundModulo);
+  Sc->L = buildJavaLibrary(P, SoundModulo ? CollectionModel::SoundModulo
+                                        : CollectionModel::OriginalJdk8);
   const JavaLib &L = Sc->L;
 
   TypeId Key = P.addClass("app.Key", TypeKind::Class, L.Object, {}, false,
@@ -244,7 +245,7 @@ TEST(JavaLibTest, TreeNodeExistsOnlyInOriginal) {
   {
     SymbolTable Symbols;
     Program P(Symbols);
-    buildJavaLibrary(P, /*SoundModulo=*/false);
+    buildJavaLibrary(P, CollectionModel::OriginalJdk8);
     EXPECT_TRUE(P.findType("java.util.HashMap$TreeNode").isValid());
     EXPECT_TRUE(
         P.findType("java.util.concurrent.ConcurrentHashMap$TreeBin")
@@ -254,7 +255,7 @@ TEST(JavaLibTest, TreeNodeExistsOnlyInOriginal) {
   {
     SymbolTable Symbols;
     Program P(Symbols);
-    buildJavaLibrary(P, /*SoundModulo=*/true);
+    buildJavaLibrary(P, CollectionModel::SoundModulo);
     EXPECT_FALSE(P.findType("java.util.HashMap$TreeNode").isValid());
     EXPECT_FALSE(
         P.findType("java.util.concurrent.ConcurrentHashMap$TreeBin")
@@ -269,7 +270,7 @@ TEST(JavaLibTest, TreeNodeExistsOnlyInOriginal) {
 TEST(JavaLibTest, LinkedHashMapIsAHashMap) {
   SymbolTable Symbols;
   Program P(Symbols);
-  JavaLib L = buildJavaLibrary(P, false);
+  JavaLib L = buildJavaLibrary(P, CollectionModel::OriginalJdk8);
   P.finalize();
   EXPECT_TRUE(P.isSubtype(L.LinkedHashMap, L.HashMap));
   EXPECT_TRUE(P.isSubtype(L.LinkedHashMap, L.Map));
@@ -282,7 +283,7 @@ TEST(JavaLibTest, LinkedHashMapIsAHashMap) {
 TEST(JavaLibTest, ArrayListRoundTrip) {
   SymbolTable Symbols;
   Program P(Symbols);
-  JavaLib L = buildJavaLibrary(P, true);
+  JavaLib L = buildJavaLibrary(P, CollectionModel::SoundModulo);
   TypeId Item = P.addClass("app.Item", TypeKind::Class, L.Object, {}, false,
                            true);
   TypeId AppTy =
@@ -325,7 +326,8 @@ std::unique_ptr<LayeredScenario> buildLayered(bool SoundModulo) {
   auto Sc = std::make_unique<LayeredScenario>();
   Sc->P = std::make_unique<Program>(Sc->Symbols);
   Program &P = *Sc->P;
-  Sc->L = buildJavaLibrary(P, SoundModulo);
+  Sc->L = buildJavaLibrary(P, SoundModulo ? CollectionModel::SoundModulo
+                                        : CollectionModel::OriginalJdk8);
   const JavaLib &L = Sc->L;
 
   TypeId V1 = P.addClass("app.V1", TypeKind::Class, L.Object, {}, false, true);

@@ -26,7 +26,8 @@ struct BuiltApp {
 std::unique_ptr<BuiltApp> buildOnly(BenchApp App) {
   auto B = std::make_unique<BuiltApp>();
   B->P = std::make_unique<ir::Program>(B->Symbols);
-  B->L = javalib::buildJavaLibrary(*B->P, false);
+  B->L = javalib::buildJavaLibrary(*B->P,
+                                 javalib::CollectionModel::OriginalJdk8);
   B->F = frameworks::buildFrameworkLibrary(*B->P, B->L);
   Application A = applicationFor(App);
   B->Configs = A.Populate(*B->P, B->L, B->F);
@@ -139,13 +140,13 @@ TEST(SynthTest, CustomProfileHook) {
   Prof.Services = 2;
   Application App = applicationForProfile(Prof);
   EXPECT_EQ(App.Name, "custom");
-  Metrics M = runAnalysis(App, AnalysisKind::CI);
+  Metrics M = runAnalysis(App, AnalysisKind::CI).value();
   EXPECT_GT(M.AppReachableMethods, 0u);
 }
 
 TEST(SynthTest, DeadClassesStayDead) {
   Application App = applicationFor(BenchApp::SpringBlog);
-  Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH);
+  Metrics M = runAnalysis(App, AnalysisKind::Mod2ObjH).value();
   // The profile has dead classes; reachability must be strictly below 100%.
   EXPECT_LT(M.reachabilityPercent(), 100.0);
   EXPECT_GT(M.reachabilityPercent(), 30.0);
