@@ -16,6 +16,7 @@
 #include "frameworks/FrameworkManager.h"
 #include "javalib/JavaLibrary.h"
 #include "pointsto/Solver.h"
+#include "provenance/Explain.h"
 
 #include <cstdio>
 
@@ -117,6 +118,8 @@ int main() {
   // --- Analysis ------------------------------------------------------------
   datalog::Database DB(Symbols);
   frameworks::FrameworkManager FM(P, DB);
+  provenance::ProvenanceRecorder Recorder(DB, FM.rules());
+  FM.setProvenance(&Recorder); // before prepare(): extraction epoch first
   FM.addDefaultFrameworks();
   if (std::string E = FM.addConfigXml("beans.xml", BeansXml); !E.empty()) {
     std::printf("config error: %s\n", E.c_str());
@@ -161,5 +164,27 @@ int main() {
   std::printf("\nThe java.lang.String entry above is the request parameter: "
               "attacker-controlled\ninput reaches persistence, which is "
               "exactly what a taint client would flag.\n");
+
+  // --- Entry-point audit trail ---------------------------------------------
+  // An auditor's next question is *why* each entry point exists: which
+  // rules fired, on which base facts, and what imperative glue the
+  // framework layer performed on the analysis's behalf. The provenance
+  // recorder answers both.
+  std::printf("\n== entry-point audit trail ==\n");
+  provenance::Explainer Ex(DB, FM.rules(), Recorder);
+  std::string Error;
+  for (const provenance::DerivationNode &Tree :
+       Ex.explainQuery("ExercisedEntryPoint", Error)) {
+    std::printf("\nwhy %s:\n%s", Tree.Atom.c_str(),
+                provenance::Explainer::renderText(Tree).c_str());
+  }
+
+  std::printf("\nframework glue (imperative actions per bean-wiring "
+              "round):\n");
+  for (const provenance::ProvenanceRecorder::GlueEvent &E :
+       Recorder.glueEvents())
+    std::printf("  round %u  %-22s %-28s %s\n", E.Round,
+                provenance::ProvenanceRecorder::glueKindName(E.EventKind),
+                E.Subject.c_str(), E.Detail.c_str());
   return 0;
 }

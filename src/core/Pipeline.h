@@ -135,6 +135,13 @@ struct Metrics {
   uint64_t SolverWorkItems = 0;
   uint64_t SolverEdges = 0;
 
+  // Provenance recording (zero unless enabled via
+  // `SessionOptions::Provenance` / `JACKEE_PROVENANCE`).
+  bool ProvenanceEnabled = false;
+  uint64_t ProvenanceTuplesRecorded = 0; ///< derived tuples with a record
+  uint64_t ProvenanceCandidatesSeen = 0; ///< candidate derivations observed
+  uint32_t ProvenanceGlueEvents = 0;     ///< framework audit-trail entries
+
   // Datalog engine effort (parallel evaluation observability).
   unsigned DatalogThreads = 1;       ///< resolved evaluator worker count
   uint64_t DatalogTuplesDerived = 0; ///< tuples derived by framework rules

@@ -123,6 +123,64 @@ jackee::core::evaluatorStatsReport(const datalog::Evaluator::Stats &S) {
   return Out.str();
 }
 
+namespace {
+
+/// Renders one rule atom/term back to source-ish text ("V0", "\"const\"").
+void appendTerm(std::ostringstream &Out, const datalog::Term &T,
+                const SymbolTable &Symbols) {
+  if (T.isConstant())
+    Out << '"' << Symbols.text(T.Value) << '"';
+  else
+    Out << 'V' << T.VarIndex;
+}
+
+void appendAtom(std::ostringstream &Out, const datalog::Atom &A,
+                const datalog::Database &DB) {
+  if (A.Negated)
+    Out << '!';
+  Out << DB.relation(A.Rel).name() << '(';
+  for (size_t I = 0; I != A.Terms.size(); ++I) {
+    if (I)
+      Out << ", ";
+    appendTerm(Out, A.Terms[I], DB.symbols());
+  }
+  Out << ')';
+}
+
+} // namespace
+
+std::string jackee::core::ruleSetReport(const datalog::Database &DB,
+                                        const datalog::RuleSet &Rules) {
+  std::ostringstream Out;
+  for (size_t I = 0; I != Rules.rules().size(); ++I) {
+    const datalog::Rule &R = Rules.rules()[I];
+    Out << '#' << I << "  [" << (R.Origin.empty() ? "<unknown>" : R.Origin)
+        << "]  ";
+    appendAtom(Out, R.Head, DB);
+    if (!R.Body.empty() || !R.Constraints.empty()) {
+      Out << " :- ";
+      bool First = true;
+      for (const datalog::Atom &A : R.Body) {
+        if (!First)
+          Out << ", ";
+        First = false;
+        appendAtom(Out, A, DB);
+      }
+      for (const datalog::Constraint &C : R.Constraints) {
+        if (!First)
+          Out << ", ";
+        First = false;
+        appendTerm(Out, C.Lhs, DB.symbols());
+        Out << (C.CompareKind == datalog::Constraint::Kind::Equal ? " = "
+                                                                  : " != ");
+        appendTerm(Out, C.Rhs, DB.symbols());
+      }
+    }
+    Out << ".\n";
+  }
+  return Out.str();
+}
+
 std::string jackee::core::metricsToJson(const Metrics &M, unsigned Indent) {
   const std::string Pad(Indent, ' ');
   std::ostringstream Out;
@@ -155,6 +213,12 @@ std::string jackee::core::metricsToJson(const Metrics &M, unsigned Indent) {
   field("datalog_tuples_derived", std::to_string(M.DatalogTuplesDerived));
   field("datalog_strata", std::to_string(M.DatalogStrata));
   field("datalog_utilization", num(M.DatalogUtilization));
+  field("provenance_enabled", M.ProvenanceEnabled ? "true" : "false");
+  field("provenance_tuples_recorded",
+        std::to_string(M.ProvenanceTuplesRecorded));
+  field("provenance_candidates_seen",
+        std::to_string(M.ProvenanceCandidatesSeen));
+  field("provenance_glue_events", std::to_string(M.ProvenanceGlueEvents));
   field("snapshot_build_seconds", num(M.SnapshotBuildSeconds));
   field("snapshot_clone_seconds", num(M.SnapshotCloneSeconds));
   field("populate_seconds", num(M.PopulateSeconds));

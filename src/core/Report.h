@@ -45,6 +45,13 @@ std::string summaryReport(const pointsto::Solver &S);
 /// stratum (rules, rounds, passes, tuples, wall time, worker utilization).
 std::string evaluatorStatsReport(const datalog::Evaluator::Stats &S);
 
+/// Renders a rule set back to rule text, one indexed line per rule with
+/// its source origin (`file.dl:line`, from `Rule::Origin`) — the listing
+/// `explain()` output cross-references by rule index. \p DB supplies
+/// relation names and constant symbol texts.
+std::string ruleSetReport(const datalog::Database &DB,
+                          const datalog::RuleSet &Rules);
+
 /// Renders \p M as one google-benchmark-style JSON object (the element
 /// shape of a `"benchmarks"` array): `"name"` is `App/Analysis`, every
 /// metric becomes a counter field. Each line is indented by \p Indent

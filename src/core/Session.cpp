@@ -125,6 +125,11 @@ AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
                       : defaultJobCount();
   CellThreads = Options.DatalogThreads ? Options.DatalogThreads
                                        : (Jobs > 1 ? 1u : 0u);
+  RecordProvenance = Options.Provenance;
+  if (!RecordProvenance)
+    if (const char *Env = std::getenv("JACKEE_PROVENANCE"))
+      RecordProvenance = std::string_view(Env) == "1" ||
+                         std::string_view(Env) == "true";
 }
 
 AnalysisSession::~AnalysisSession() = default;
@@ -155,9 +160,10 @@ AnalysisSession::snapshotFor(javalib::CollectionModel Model, bool &WasHit) {
   return *Cache.emplace(Model, std::move(Snap)).first->second;
 }
 
-AnalysisResult AnalysisSession::runCell(const Application &App,
-                                        AnalysisKind Kind,
-                                        std::optional<bool> HitOverride) {
+AnalysisResult AnalysisSession::runCell(
+    const Application &App, AnalysisKind Kind,
+    std::optional<bool> HitOverride,
+    std::unique_ptr<CellProvenance> *Capture) {
   Metrics M;
   M.App = App.Name;
   M.Analysis = analysisName(Kind);
@@ -202,8 +208,16 @@ AnalysisResult AnalysisSession::runCell(const Application &App,
   std::vector<std::pair<std::string, std::string>> Configs =
       App.Populate(P, Lib, Fw);
 
-  datalog::Database DB(P.symbols());
+  // The database lives on the heap so a provenance capture can take it
+  // with the rest of the cell state instead of copying relations.
+  auto OwnedDB = std::make_unique<datalog::Database>(P.symbols());
+  datalog::Database &DB = *OwnedDB;
   frameworks::FrameworkManager FM(P, DB, Options.MockOptions, CellThreads);
+  std::unique_ptr<provenance::ProvenanceRecorder> Recorder;
+  if (RecordProvenance || Capture) {
+    Recorder = std::make_unique<provenance::ProvenanceRecorder>(DB, FM.rules());
+    FM.setProvenance(Recorder.get());
+  }
   if (usesBaselineRulesOnly(Kind))
     FM.addServletBaselineOnly();
   else
@@ -259,12 +273,38 @@ AnalysisResult AnalysisSession::runCell(const Application &App,
     M.DatalogUtilization =
         Wall > 0 && ES->Threads > 1 ? Busy / (Wall * ES->Threads) : 0.0;
   }
+  if (Recorder) {
+    M.ProvenanceEnabled = true;
+    M.ProvenanceTuplesRecorded = Recorder->stats().TuplesRecorded;
+    M.ProvenanceCandidatesSeen = Recorder->stats().CandidatesSeen;
+    M.ProvenanceGlueEvents =
+        static_cast<uint32_t>(Recorder->glueEvents().size());
+  }
+  if (Capture) {
+    auto Cell = std::make_unique<CellProvenance>();
+    Cell->Rules = FM.rules();
+    Cell->Symbols = std::move(Symbols);
+    Cell->Program = std::move(Owned);
+    Cell->DB = std::move(OwnedDB);
+    Cell->Recorder = std::move(Recorder);
+    // The recorder was created against the framework manager's rule set,
+    // which dies with this frame; re-point it at the capture's own copy.
+    Cell->Recorder->rebindRules(Cell->Rules);
+    *Capture = std::move(Cell);
+  }
   return M;
 }
 
 AnalysisResult AnalysisSession::run(const Application &App,
                                     AnalysisKind Kind) {
   return runCell(App, Kind, std::nullopt);
+}
+
+AnalysisResult
+AnalysisSession::run(const Application &App, AnalysisKind Kind,
+                     std::unique_ptr<CellProvenance> &Capture) {
+  Capture.reset();
+  return runCell(App, Kind, std::nullopt, &Capture);
 }
 
 std::vector<AnalysisResult>

@@ -70,8 +70,30 @@ struct SessionOptions {
   /// mode so equivalence is testable and the cache win is measurable.
   bool SnapshotCache = true;
 
+  /// Record derivation provenance in every cell (see src/provenance/).
+  /// When false, the `JACKEE_PROVENANCE` environment variable ("1"/"true")
+  /// still enables it — the env-var path lets existing drivers measure
+  /// recording overhead without an API change. Recording costs memory and
+  /// a little time; `explain()` additionally needs the cell state captured
+  /// via the three-argument `run()` overload (which enables recording for
+  /// that cell regardless of this flag).
+  bool Provenance = false;
+
   /// Mock-policy tuning, applied to every cell.
   frameworks::MockPolicyOptions MockOptions;
+};
+
+/// A finished cell's state, kept alive for post-hoc `explain()` queries:
+/// the symbol table and program the database symbols refer to, the fact
+/// database, the rule set provenance rule indexes point into, and the
+/// recorder holding the derivation store and glue-event audit trail. Feed
+/// `*DB`, `Rules`, and `*Recorder` to a `provenance::Explainer`.
+struct CellProvenance {
+  std::unique_ptr<SymbolTable> Symbols;
+  std::unique_ptr<ir::Program> Program;
+  std::unique_ptr<datalog::Database> DB;
+  datalog::RuleSet Rules;
+  std::unique_ptr<provenance::ProvenanceRecorder> Recorder;
 };
 
 /// A cache of base-program snapshots plus a parallel batch driver.
@@ -89,6 +111,13 @@ public:
   /// Runs one (application, analysis) cell, reusing the cached snapshot
   /// for the cell's collection model when the cache is enabled.
   AnalysisResult run(const Application &App, AnalysisKind Kind);
+
+  /// Like `run`, but records provenance (regardless of
+  /// `SessionOptions::Provenance`) and hands the cell's state to
+  /// \p Capture so the caller can answer `explain()` queries against the
+  /// finished analysis. On failure \p Capture is left null.
+  AnalysisResult run(const Application &App, AnalysisKind Kind,
+                     std::unique_ptr<CellProvenance> &Capture);
 
   /// Runs the full \p Apps × \p Kinds matrix across the session's job
   /// pool and returns one result per cell in app-major order
@@ -135,13 +164,16 @@ private:
 
   /// Runs one cell end to end. \p HitOverride, when set, replaces the
   /// observed cache-hit flag — `runMatrix` uses it to attribute the miss
-  /// to the first cell of each model deterministically.
+  /// to the first cell of each model deterministically. \p Capture, when
+  /// non-null, forces provenance recording and receives the cell state.
   AnalysisResult runCell(const Application &App, AnalysisKind Kind,
-                         std::optional<bool> HitOverride);
+                         std::optional<bool> HitOverride,
+                         std::unique_ptr<CellProvenance> *Capture = nullptr);
 
   SessionOptions Options;
   unsigned Jobs = 1;        ///< resolved matrix worker count
   unsigned CellThreads = 0; ///< resolved per-cell Datalog worker count
+  bool RecordProvenance = false; ///< Options.Provenance or JACKEE_PROVENANCE
 
   mutable std::mutex CacheMutex;
   std::map<javalib::CollectionModel, std::unique_ptr<Snapshot>> Cache;

@@ -56,6 +56,13 @@ bool Relation::contains(std::span<const Symbol> Tuple) const {
   return Dedup.find(ProbeIndex) != Dedup.end();
 }
 
+uint32_t Relation::find(std::span<const Symbol> Tuple) const {
+  assert(Tuple.size() == Arity && "tuple arity mismatch");
+  Probe = Tuple.data();
+  auto It = Dedup.find(ProbeIndex);
+  return It == Dedup.end() ? NoTuple : *It;
+}
+
 uint64_t Relation::keyHashFor(const Index &Idx, const Symbol *Tuple) const {
   size_t Seed = 0xabcdefu;
   for (uint32_t Col : Idx.Columns)

@@ -63,6 +63,15 @@ public:
   /// concurrently with `insert`/`lookup`/`ensureIndex`.
   bool contains(std::span<const Symbol> Tuple) const;
 
+  /// Sentinel returned by `find` for absent tuples.
+  static constexpr uint32_t NoTuple = ~uint32_t(0);
+
+  /// \returns the dense index of \p Tuple, or `NoTuple` if absent. Since
+  /// storage is append-only, the index is stable for the relation's
+  /// lifetime — it is what provenance records use as a tuple id. Same
+  /// thread-safety contract as `contains`.
+  uint32_t find(std::span<const Symbol> Tuple) const;
+
   /// The tuple at dense index \p Index (pointer into the flat store; valid
   /// until the next insertion).
   const Symbol *tuple(uint32_t Index) const {

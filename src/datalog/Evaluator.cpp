@@ -200,6 +200,16 @@ void Evaluator::stratify() {
 
 void Evaluator::run() {
   assert(StratificationError.empty() && "running an unstratifiable program");
+  if (Observer && PositiveArity.size() != Rules.rules().size()) {
+    PositiveArity.clear();
+    for (const Rule &R : Rules.rules()) {
+      uint32_t Positives = 0;
+      for (const Atom &A : R.Body)
+        if (!A.Negated)
+          ++Positives;
+      PositiveArity.push_back(Positives);
+    }
+  }
   for (size_t I = 0; I != Strata.size(); ++I) {
     auto Start = std::chrono::steady_clock::now();
     runStratum(Strata[I], EvalStats.Strata[I]);
@@ -330,8 +340,8 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
     // pre-parallelization behavior.
     uint64_t Before = EvalStats.TuplesDerived;
     for (const Task &T : Tasks)
-      evaluateRule(Rules.rules()[T.RuleIdx], Plans[T.PlanIdx], T.DeltaAtom,
-                   T.DriveFrom, T.DriveTo, T.HasDrive, Limit,
+      evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
+                   T.DriveTo, T.HasDrive, Limit,
                    /*Staging=*/nullptr);
     SS.TuplesDerived += EvalStats.TuplesDerived - Before;
     return;
@@ -362,9 +372,8 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
       static_cast<uint32_t>(Tasks.size()),
       [&](uint32_t TaskIdx, unsigned Worker) {
         const Task &T = Tasks[TaskIdx];
-        evaluateRule(Rules.rules()[T.RuleIdx], Plans[T.PlanIdx], T.DeltaAtom,
-                     T.DriveFrom, T.DriveTo, T.HasDrive, Limit,
-                     &Staging[Worker]);
+        evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
+                     T.DriveTo, T.HasDrive, Limit, &Staging[Worker]);
       });
 
   uint64_t NewTuples = mergeStaging(S);
@@ -376,14 +385,29 @@ uint64_t Evaluator::mergeStaging(const Stratum &S) {
   uint64_t NewTuples = 0;
   std::vector<Symbol> Concat;
   std::vector<uint32_t> Order;
+  std::vector<uint32_t> ProvRule, ProvBegin, ProvRefs; // observer mode only
   // MemberRels is ascending, so the merge visits relations in a fixed
   // order; within a relation, staged tuples are sorted lexicographically.
   // Insertion order is therefore independent of worker scheduling.
   for (uint32_t Rel : S.MemberRels) {
     Concat.clear();
+    if (Observer) {
+      ProvRule.clear();
+      ProvBegin.clear();
+      ProvRefs.clear();
+    }
     for (size_t W = 0; W != Staging.size(); ++W) {
       const std::vector<Symbol> &B = Staging[W].buffer(Rel);
       Concat.insert(Concat.end(), B.begin(), B.end());
+      if (Observer) {
+        const StagingArena::ProvBuffer &PB = Staging[W].prov(Rel);
+        uint32_t Rebase = static_cast<uint32_t>(ProvRefs.size());
+        for (size_t K = 0; K != PB.Rule.size(); ++K) {
+          ProvRule.push_back(PB.Rule[K]);
+          ProvBegin.push_back(PB.RefBegin[K] + Rebase);
+        }
+        ProvRefs.insert(ProvRefs.end(), PB.Refs.begin(), PB.Refs.end());
+      }
     }
     if (Concat.empty())
       continue;
@@ -393,22 +417,78 @@ uint64_t Evaluator::mergeStaging(const Stratum &S) {
     Order.resize(Count);
     for (uint32_t I = 0; I != Count; ++I)
       Order[I] = I;
-    std::sort(Order.begin(), Order.end(), TupleLess{Concat.data(), Arity});
-    for (uint32_t I : Order)
-      if (R.insert(std::span<const Symbol>(&Concat[size_t(I) * Arity],
-                                           Arity)))
+    TupleLess ByContent{Concat.data(), Arity};
+    if (!Observer) {
+      std::sort(Order.begin(), Order.end(), ByContent);
+      for (uint32_t I : Order)
+        if (R.insert(std::span<const Symbol>(&Concat[size_t(I) * Arity],
+                                             Arity)))
+          ++NewTuples;
+      continue;
+    }
+
+    // Observer mode: sort groups of identical tuples by (rule, witness
+    // refs) so the first entry of each group is its round-canonical
+    // derivation regardless of which workers staged what. Distinct tuples
+    // keep the exact content order of the fast path above, so relation
+    // contents and dense ordering are unchanged by recording.
+    std::sort(Order.begin(), Order.end(), [&](uint32_t Lhs, uint32_t Rhs) {
+      if (ByContent(Lhs, Rhs))
+        return true;
+      if (ByContent(Rhs, Lhs))
+        return false;
+      if (ProvRule[Lhs] != ProvRule[Rhs])
+        return ProvRule[Lhs] < ProvRule[Rhs];
+      uint32_t Refs = PositiveArity[ProvRule[Lhs]];
+      for (uint32_t C = 0; C != Refs; ++C) {
+        uint32_t A = ProvRefs[ProvBegin[Lhs] + C];
+        uint32_t B = ProvRefs[ProvBegin[Rhs] + C];
+        if (A != B)
+          return A < B;
+      }
+      return false;
+    });
+    // Every staged tuple was absent at the round barrier (`emitHead`
+    // checks), so the first entry of each content group inserts and the
+    // rest resolve to the same dense index.
+    uint32_t GroupIndex = Relation::NoTuple;
+    for (uint32_t I : Order) {
+      std::span<const Symbol> T(&Concat[size_t(I) * Arity], Arity);
+      if (R.insert(T)) {
         ++NewTuples;
+        GroupIndex = R.size() - 1;
+      }
+      Observer->onDerivation(
+          Rel, GroupIndex, ProvRule[I],
+          std::span<const uint32_t>(ProvRefs.data() + ProvBegin[I],
+                                    PositiveArity[ProvRule[I]]));
+    }
   }
   return NewTuples;
 }
 
-void Evaluator::evaluateRule(const Rule &R, const JoinPlan &Plan,
+void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
                              int DeltaAtom, uint32_t DriveFrom,
                              uint32_t DriveTo, bool HasDrive,
                              const std::vector<uint32_t> &Limit,
                              StagingArena *Staging) {
+  const Rule &R = Rules.rules()[RuleIdx];
   std::vector<Symbol> Bindings(R.VariableCount);
   std::vector<bool> Bound(R.VariableCount, false);
+
+  // Provenance scratch (observer mode only): the tuple index each body atom
+  // is currently matched against, and the witness refs of the match being
+  // emitted — positive atoms in *body* order, so every join plan of the
+  // same rule reports the same ref sequence.
+  std::vector<uint32_t> MatchIdx(Observer ? R.Body.size() : 0);
+  std::vector<uint32_t> RefsScratch;
+  auto gatherRefs = [&]() -> std::span<const uint32_t> {
+    RefsScratch.clear();
+    for (size_t I = 0; I != R.Body.size(); ++I)
+      if (!R.Body[I].Negated)
+        RefsScratch.push_back(MatchIdx[I]);
+    return RefsScratch;
+  };
 
   auto checkConstraintsAndNegation = [&]() -> bool {
     auto valueOf = [&](const Term &T) {
@@ -443,12 +523,30 @@ void Evaluator::evaluateRule(const Rule &R, const JoinPlan &Plan,
       // already-present tuples here just keeps the buffers small — the head
       // relation is frozen during the round, so `contains` is a safe
       // concurrent read.
-      if (!DB.relation(R.Head.Rel).contains(Tuple))
+      if (!DB.relation(R.Head.Rel).contains(Tuple)) {
         Staging->emit(R.Head.Rel.index(), Tuple);
+        if (Observer)
+          Staging->emitProv(R.Head.Rel.index(), RuleIdx, gatherRefs());
+      }
       return;
     }
-    if (DB.relation(R.Head.Rel).insert(Tuple))
+    Relation &Head = DB.relation(R.Head.Rel);
+    if (Head.insert(Tuple)) {
       ++EvalStats.TuplesDerived;
+      if (Observer)
+        Observer->onDerivation(R.Head.Rel.index(), Head.size() - 1, RuleIdx,
+                               gatherRefs());
+    } else if (Observer) {
+      // Duplicate: still a provenance candidate if the tuple first appeared
+      // *this* round (index at or past the round-barrier snapshot) — the
+      // observer keeps the least candidate, making the recorded derivation
+      // independent of rule execution order.
+      uint32_t Existing = Head.find(Tuple);
+      if (Existing != Relation::NoTuple &&
+          Existing >= Limit[R.Head.Rel.index()])
+        Observer->onDerivation(R.Head.Rel.index(), Existing, RuleIdx,
+                               gatherRefs());
+    }
   };
 
   // Recursive nested-loop join over the plan's positive-atom order.
@@ -501,8 +599,11 @@ void Evaluator::evaluateRule(const Rule &R, const JoinPlan &Plan,
           NewlyBound.push_back(T.VarIndex);
         }
       }
-      if (Ok)
+      if (Ok) {
+        if (Observer)
+          MatchIdx[AtomIdx] = TupleIdx;
         match(Pos + 1);
+      }
       for (uint32_t Var : NewlyBound)
         Bound[Var] = false;
     };

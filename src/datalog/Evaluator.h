@@ -41,11 +41,53 @@ class WorkerPool;
 
 namespace datalog {
 
+/// Observer of tuple derivations, attached via `Evaluator::setObserver`
+/// (implemented by `provenance::ProvenanceRecorder`; the interface lives
+/// here so the engine does not depend on the provenance library).
+///
+/// The evaluator reports every *candidate* derivation of each tuple that
+/// first appears in the current semi-naive round — and never calls again
+/// for a tuple once the round it appeared in is over, so a tuple's
+/// provenance is fixed at its first round. The set of candidates of a
+/// round is snapshot-bounded (joins only range over tuples present at the
+/// round barrier) and therefore identical for every thread count — as
+/// tuple *contents*; the dense indexes in `BodyRefs` are not
+/// thread-invariant, because a round's new tuples are appended in
+/// derivation order sequentially but content-sorted by the parallel
+/// merge. An observer that keeps the least candidate per tuple ordered by
+/// `RuleIdx` and then by the referenced tuples' contents records
+/// derivations that are bit-identical under any `JACKEE_THREADS`
+/// (`provenance::ProvenanceRecorder` does exactly that). Calls are
+/// serialized: they happen on the caller's
+/// thread — directly in the sequential engine, at the round's merge
+/// barrier in parallel mode — so implementations need no locking.
+class DerivationObserver {
+public:
+  virtual ~DerivationObserver() = default;
+
+  /// One candidate derivation of tuple \p TupleIndex of relation \p Rel:
+  /// rule \p RuleIdx (index into the evaluator's rule set) matched with
+  /// the witness tuples in \p BodyRefs — one dense tuple index per
+  /// *positive* body atom, in body order. Negated atoms and constraints
+  /// contribute no witnesses; fact rules have an empty span. Witnesses
+  /// always predate the round (their indexes are below the round-barrier
+  /// snapshot), so the derivation graph is acyclic by construction.
+  virtual void onDerivation(uint32_t Rel, uint32_t TupleIndex,
+                            uint32_t RuleIdx,
+                            std::span<const uint32_t> BodyRefs) = 0;
+};
+
 /// Evaluates a rule set over a database to fixpoint.
 class Evaluator {
 public:
-  /// Per-stratum observability record, accumulated across `run()` calls
-  /// (the bean-wiring loop re-runs the evaluator each solver round).
+  /// Per-stratum observability record.
+  ///
+  /// Every field accumulates across `run()` calls — the bean-wiring loop
+  /// re-runs the evaluator once per solver round, and each re-run adds its
+  /// rounds, passes, tuples, and wall/busy seconds on top of the previous
+  /// totals (nothing resets, `Rounds` included). All counters are
+  /// therefore monotone non-decreasing over an evaluator's lifetime, and
+  /// `utilization()` is a lifetime average, not a per-run figure.
   struct StratumStats {
     uint32_t Rules = 0;          ///< rules whose head is in this stratum
     uint32_t Rounds = 0;         ///< semi-naive rounds (incl. seed rounds)
@@ -54,8 +96,8 @@ public:
     double WallSeconds = 0;      ///< wall time spent in this stratum
     double WorkerBusySeconds = 0; ///< summed worker busy time (parallel mode)
 
-    /// Fraction of `Workers × wall` the workers were busy; 0 when the
-    /// stratum ran sequentially.
+    /// Fraction of `Workers × wall` the workers were busy across all
+    /// `run()` calls so far; 0 when the stratum ran sequentially.
     double utilization(unsigned Workers) const {
       return WallSeconds <= 0 || Workers == 0
                  ? 0.0
@@ -90,6 +132,14 @@ public:
   void run();
 
   const Stats &stats() const { return EvalStats; }
+
+  /// Attaches \p O as the derivation observer (nullptr detaches). Set it
+  /// before the first `run()`; derivations of tuples inserted while no
+  /// observer was attached are lost. With no observer attached the hot
+  /// insert path is unchanged (a single pointer test guards all recording
+  /// work — see `bench/micro_provenance.cpp` for the on/off comparison).
+  void setObserver(DerivationObserver *O) { Observer = O; }
+  DerivationObserver *observer() const { return Observer; }
 
   /// The resolved worker count (after env var / hardware defaulting).
   unsigned threadCount() const { return Threads; }
@@ -146,7 +196,8 @@ private:
   /// id. With \p Staging null, derived tuples are inserted directly
   /// (sequential mode); otherwise they are appended to \p Staging and no
   /// relation is mutated (parallel mode — lookups use prebuilt indexes).
-  void evaluateRule(const Rule &R, const JoinPlan &Plan, int DeltaAtom,
+  /// \p RuleIdx is R's index in the rule set, used only for provenance.
+  void evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan, int DeltaAtom,
                     uint32_t DriveFrom, uint32_t DriveTo, bool HasDrive,
                     const std::vector<uint32_t> &Limit,
                     StagingArena *Staging);
@@ -160,6 +211,11 @@ private:
   unsigned Threads;
   std::unique_ptr<WorkerPool> Pool;      ///< created when Threads > 1
   PerWorker<StagingArena> Staging;       ///< one arena per worker
+
+  DerivationObserver *Observer = nullptr;
+  /// Positive-body-atom count per rule (a staged derivation's witness
+  /// count), built lazily on first observed run.
+  std::vector<uint32_t> PositiveArity;
 };
 
 } // namespace datalog

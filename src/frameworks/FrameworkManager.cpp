@@ -65,12 +65,15 @@ std::string FrameworkManager::addConfigXml(std::string_view FileName,
 
 std::string FrameworkManager::prepare() {
   assert(!Prepared && "prepare() called twice");
+  if (Provenance)
+    Provenance->beginEpoch("extraction");
   Facts.extractProgram(P);
   for (const auto &[FileName, Doc] : Configs)
     Facts.extractXml(Doc, FileName);
   Eval = std::make_unique<datalog::Evaluator>(DB, Rules, DatalogThreads);
   if (std::string Err = Eval->validate(); !Err.empty())
     return Err;
+  Eval->setObserver(Provenance);
   Prepared = true;
   return "";
 }
@@ -81,9 +84,16 @@ std::string FrameworkManager::prepare() {
 
 bool FrameworkManager::onFixpoint(Solver &S) {
   assert(Prepared && "prepare() must run before solving");
+  ++WiringRound;
   auto T0 = std::chrono::steady_clock::now();
   Eval->run();
   auto T1 = std::chrono::steady_clock::now();
+  // Epoch boundary: base facts inserted from here until the next run()
+  // (by the glue below or externally between solver rounds) are attributed
+  // to this bean-wiring round.
+  if (Provenance)
+    Provenance->beginEpoch("bean-wiring round " +
+                           std::to_string(WiringRound));
 
   bool Changed = false;
   Changed |= processGeneratedObjects(S);
@@ -116,6 +126,12 @@ ValueId FrameworkManager::objectForClass(TypeId T, Solver &S,
   ++FrameworkStats.MockObjectsCreated;
   PendingConstructorTypes.push_back(T);
   CreatedNew = true;
+  if (Provenance)
+    Provenance->recordGlue(
+        IsBean
+            ? provenance::ProvenanceRecorder::GlueEvent::Kind::BeanObjectCreated
+            : provenance::ProvenanceRecorder::GlueEvent::Kind::MockObjectCreated,
+        Name, IsBean ? "bean definition" : "mock policy", WiringRound);
   return V;
 }
 
@@ -171,6 +187,13 @@ bool FrameworkManager::exerciseEntryPoint(MethodId M, Solver &S) {
     return true; // counted as seen; nothing to exercise
 
   ++FrameworkStats.EntryPointsExercised;
+  if (Provenance)
+    Provenance->recordGlue(
+        provenance::ProvenanceRecorder::GlueEvent::Kind::EntryPointExercised,
+        facts::Extractor::encodeMethod(M),
+        P.symbols().text(P.type(Meth.DeclaringType).Name) + "." +
+            P.symbols().text(Meth.Name),
+        WiringRound);
 
   // Receiver mocks: the declaring class if concrete, else its concrete
   // application subtypes (one mock per type, per the scalability rule).
@@ -288,6 +311,13 @@ bool FrameworkManager::processInjections(Solver &S) {
     ValueId BeanObj = objectForClass(BeanClass, S, CreatedNew);
     S.seedObjectField(TargetObj, F, BeanObj);
     ++FrameworkStats.InjectionsApplied;
+    if (Provenance)
+      Provenance->recordGlue(
+          provenance::ProvenanceRecorder::GlueEvent::Kind::FieldInjection,
+          DB.symbols().text(Tuple[1]),
+          "bean " + DB.symbols().text(Tuple[2]) + " into " +
+              DB.symbols().text(Tuple[0]),
+          WiringRound);
     Changed = true;
   }
   return Changed;
@@ -328,6 +358,13 @@ bool FrameworkManager::processMethodInjections(Solver &S) {
       if (P.isSubtype(BeanClass, Meth.ParamTypes[PI]))
         S.seedVar(Meth.Params[PI], Ctx, BeanObj);
     ++FrameworkStats.InjectionsApplied;
+    if (Provenance)
+      Provenance->recordGlue(
+          provenance::ProvenanceRecorder::GlueEvent::Kind::MethodInjection,
+          DB.symbols().text(Tuple[1]),
+          "bean " + DB.symbols().text(Tuple[2]) + " into " +
+              DB.symbols().text(Tuple[0]),
+          WiringRound);
     Changed = true;
   }
   return Changed;
@@ -380,6 +417,13 @@ bool FrameworkManager::processGetBean(Solver &S) {
         ValueId BeanObj = objectForClass(It->second, S, CreatedNew);
         S.seedVarAllContexts(Stmt.Dst, BeanObj);
         ++FrameworkStats.GetBeanResolutions;
+        if (Provenance)
+          Provenance->recordGlue(
+              provenance::ProvenanceRecorder::GlueEvent::Kind::GetBeanResolved,
+              DB.symbols().text(R.tuple(I)[0]),
+              "resolved to bean class " +
+                  P.symbols().text(P.type(It->second).Name),
+              WiringRound);
         Changed = true;
       }
     }

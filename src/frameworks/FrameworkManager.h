@@ -33,6 +33,7 @@
 #include "datalog/Parser.h"
 #include "facts/Extractor.h"
 #include "pointsto/Solver.h"
+#include "provenance/Provenance.h"
 #include "xml/Xml.h"
 
 #include <memory>
@@ -78,6 +79,21 @@ public:
   /// Parses and registers an XML configuration file (Spring beans, web.xml,
   /// struts.xml). \returns empty string or the parse diagnostic.
   std::string addConfigXml(std::string_view FileName, std::string_view Text);
+
+  /// Attaches \p R as the provenance sink: derivations of all rule
+  /// evaluations are recorded, base facts are attributed to epochs
+  /// ("extraction", "bean-wiring round N"), and the mock/bean/injection
+  /// glue appends audit events. Call before `prepare()` (the extraction
+  /// epoch must start before facts exist); nullptr detaches. The recorder
+  /// must outlive this manager.
+  void setProvenance(provenance::ProvenanceRecorder *R) {
+    assert(!Prepared && "attach provenance before prepare()");
+    Provenance = R;
+  }
+
+  /// The registered rule set (vocabulary + frameworks); rule indexes in
+  /// provenance records point into this.
+  const datalog::RuleSet &rules() const { return Rules; }
 
   /// Extracts program + XML facts and builds the evaluator. Call after
   /// `P.finalize()` and after all rules/configs are registered. \returns
@@ -146,6 +162,9 @@ private:
 
   Stats FrameworkStats;
   bool Prepared = false;
+
+  provenance::ProvenanceRecorder *Provenance = nullptr;
+  uint32_t WiringRound = 0; ///< onFixpoint invocations so far
 };
 
 } // namespace frameworks

@@ -56,15 +56,40 @@ private:
 /// Flat per-relation staging buffers for tuples derived by one worker
 /// during one semi-naive round. Tuples of relation `R` (arity `a`) are
 /// stored as consecutive runs of `a` symbols in `buffer(R)`.
+///
+/// When provenance recording is enabled, each staged tuple additionally
+/// carries its derivation (rule index + positive-body witness tuple
+/// indexes) in a parallel `ProvBuffer` — same arena discipline: flat
+/// append-only vectors, cleared (capacity retained) at every round
+/// barrier, so steady-state recording allocates nothing per round.
 class StagingArena {
 public:
+  /// Derivations staged alongside one relation's tuples: entry `k`
+  /// describes the k-th staged tuple. `Refs` is flat; entry `k` occupies
+  /// `[RefBegin[k], RefBegin[k] + positive-atom count of Rule[k])`.
+  struct ProvBuffer {
+    std::vector<uint32_t> Rule;     ///< deriving rule index per tuple
+    std::vector<uint32_t> RefBegin; ///< offset into `Refs` per tuple
+    std::vector<uint32_t> Refs;     ///< positive-body witness tuple indexes
+
+    void clear() {
+      Rule.clear();
+      RefBegin.clear();
+      Refs.clear();
+    }
+  };
+
   /// Prepares for a round over a database of \p RelationCount relations:
   /// clears all buffers (capacity is retained).
   void beginRound(size_t RelationCount) {
-    if (Buffers.size() < RelationCount)
+    if (Buffers.size() < RelationCount) {
       Buffers.resize(RelationCount);
-    for (uint32_t Rel : Touched)
+      Prov.resize(RelationCount);
+    }
+    for (uint32_t Rel : Touched) {
       Buffers[Rel].clear();
+      Prov[Rel].clear();
+    }
     Touched.clear();
   }
 
@@ -76,14 +101,31 @@ public:
     B.insert(B.end(), Tuple.begin(), Tuple.end());
   }
 
+  /// Stages the derivation of the tuple just passed to `emit(Rel, ...)`.
+  /// Callers either record provenance for every staged tuple of a round or
+  /// for none, so buffers stay index-aligned.
+  void emitProv(uint32_t Rel, uint32_t Rule, std::span<const uint32_t> Refs) {
+    ProvBuffer &P = Prov[Rel];
+    P.Rule.push_back(Rule);
+    P.RefBegin.push_back(static_cast<uint32_t>(P.Refs.size()));
+    P.Refs.insert(P.Refs.end(), Refs.begin(), Refs.end());
+  }
+
   /// The staged symbols for \p Rel (flat runs of the relation's arity).
   const std::vector<Symbol> &buffer(uint32_t Rel) const {
     static const std::vector<Symbol> Empty;
     return Rel < Buffers.size() ? Buffers[Rel] : Empty;
   }
 
+  /// The staged derivations for \p Rel (index-aligned with `buffer`).
+  const ProvBuffer &prov(uint32_t Rel) const {
+    static const ProvBuffer Empty;
+    return Rel < Prov.size() ? Prov[Rel] : Empty;
+  }
+
 private:
   std::vector<std::vector<Symbol>> Buffers; ///< indexed by relation id
+  std::vector<ProvBuffer> Prov;             ///< indexed by relation id
   std::vector<uint32_t> Touched;            ///< relations with staged data
 };
 

@@ -765,6 +765,90 @@ std::vector<Application> jackee::synth::allBenchmarks() {
   return Apps;
 }
 
+Application jackee::synth::petstoreApp() {
+  Application A;
+  A.Name = "petstore";
+  A.Populate = [](Program &P, const JavaLib &L, const FrameworkLib &F) {
+    auto appClass = [&](const char *Name, TypeId Super) {
+      return P.addClass(Name, TypeKind::Class, Super, {}, false,
+                        /*IsApplication=*/true);
+    };
+
+    TypeId Order = appClass("shop.Order", L.Object);
+    P.addMethod(Order, "<init>", {}, TypeId::invalid());
+
+    TypeId Repo = appClass("shop.OrderRepository", L.Object);
+    FieldId RepoCache = P.addField(Repo, "cache", L.Map);
+    MethodBuilder RepoInit =
+        P.addMethod(Repo, "<init>", {}, TypeId::invalid());
+    {
+      VarId M = RepoInit.local("m", L.HashMap);
+      RepoInit.alloc(M, L.HashMap)
+          .specialCall(VarId::invalid(), M, L.HashMapInit, {})
+          .store(RepoInit.thisVar(), RepoCache, M);
+    }
+    MethodBuilder Persist =
+        P.addMethod(Repo, "persist", {L.Object}, TypeId::invalid());
+    {
+      VarId C = Persist.local("c", L.Map);
+      Persist.load(C, Persist.thisVar(), RepoCache)
+          .virtualCall(VarId::invalid(), C, "put", {L.Object, L.Object},
+                       {Persist.param(0), Persist.param(0)});
+    }
+
+    TypeId Svc = appClass("shop.CheckoutService", L.Object);
+    FieldId SvcRepo = P.addField(Svc, "orders", Repo);
+    P.addMethod(Svc, "<init>", {}, TypeId::invalid());
+    MethodBuilder Checkout =
+        P.addMethod(Svc, "checkout", {L.Object}, TypeId::invalid());
+    {
+      VarId R = Checkout.local("r", Repo);
+      VarId O = Checkout.local("o", Order);
+      Checkout.load(R, Checkout.thisVar(), SvcRepo)
+          .alloc(O, Order)
+          .virtualCall(VarId::invalid(), R, "persist", {L.Object}, {O})
+          .virtualCall(VarId::invalid(), R, "persist", {L.Object},
+                       {Checkout.param(0)});
+    }
+
+    TypeId Servlet = appClass("shop.CheckoutServlet", F.HttpServlet);
+    FieldId ServletSvc = P.addField(Servlet, "service", Svc);
+    MethodBuilder DoPost = P.addMethod(
+        Servlet, "doPost", {F.HttpServletRequest, F.HttpServletResponse},
+        TypeId::invalid());
+    {
+      VarId Name = DoPost.local("name", L.String);
+      VarId Param = DoPost.local("param", L.String);
+      VarId S = DoPost.local("s", Svc);
+      DoPost.stringConst(Name, "itemId")
+          .virtualCall(Param, DoPost.param(0), "getParameter", {L.String},
+                       {Name})
+          .load(S, DoPost.thisVar(), ServletSvc)
+          .virtualCall(VarId::invalid(), S, "checkout", {L.Object}, {Param});
+    }
+
+    return std::vector<std::pair<std::string, std::string>>{
+        {"beans.xml", R"(
+          <beans>
+            <bean id="orderRepository" class="shop.OrderRepository"/>
+            <bean id="checkoutService" class="shop.CheckoutService">
+              <property name="orders" ref="orderRepository"/>
+            </bean>
+            <bean id="checkoutServlet" class="shop.CheckoutServlet">
+              <property name="service" ref="checkoutService"/>
+            </bean>
+          </beans>)"},
+        {"web.xml", R"(
+          <web-app>
+            <servlet>
+              <servlet-name>checkout</servlet-name>
+              <servlet-class>shop.CheckoutServlet</servlet-class>
+            </servlet>
+          </web-app>)"}};
+  };
+  return A;
+}
+
 Application jackee::synth::dacapoLikeApp() {
   Application A;
   A.Name = "dacapo-like";

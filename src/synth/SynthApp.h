@@ -86,6 +86,13 @@ std::vector<core::Application> allBenchmarks();
 /// Desktop-style reference application (plain main; no frameworks).
 core::Application dacapoLikeApp();
 
+/// The XML-wired web-shop from `examples/petstore_audit.cpp` as a reusable
+/// application: servlet -> XML-injected CheckoutService -> OrderRepository,
+/// four classes, all wiring in beans.xml/web.xml. Small enough that an
+/// `explain()` derivation tree is readable end to end — the provenance
+/// smoke target (`benchmark_cli --app=petstore --explain=...`).
+core::Application petstoreApp();
+
 } // namespace synth
 } // namespace jackee
 

@@ -14,9 +14,12 @@
 #include "datalog/Database.h"
 #include "datalog/Evaluator.h"
 #include "datalog/Parser.h"
+#include "provenance/Explain.h"
+#include "provenance/Provenance.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <functional>
 #include <random>
@@ -263,6 +266,110 @@ TEST(ParallelStats, SequentialAndParallelAgreeOnWorkCounters) {
   EXPECT_EQ(Seq.TuplesDerived, Par.TuplesDerived);
   EXPECT_EQ(Seq.RuleEvaluations, Par.RuleEvaluations);
   EXPECT_EQ(Seq.StratumCount, Par.StratumCount);
+}
+
+TEST(ParallelStats, StatsAccumulateMonotonicallyAcrossRuns) {
+  // StratumStats fields accumulate across run() calls (the bean-wiring
+  // loop re-runs the evaluator once per solver round) — documented in
+  // Evaluator.h; this pins the semantics. Every counter must be monotone
+  // non-decreasing over an evaluator's lifetime, including across no-op
+  // re-runs and re-runs that pick up externally inserted facts.
+  SymbolTable Symbols;
+  Database DB(Symbols);
+  RuleSet Rules;
+  ASSERT_TRUE(
+      parseRules(DB, Rules, TransitiveClosureRules, "parallel-test").Ok);
+  loadChain(DB, 20);
+  Evaluator Eval(DB, Rules, 4);
+  ASSERT_EQ(Eval.validate(), "");
+
+  auto check = [](const Evaluator::Stats &Prev, const Evaluator::Stats &Next) {
+    EXPECT_GE(Next.TuplesDerived, Prev.TuplesDerived);
+    EXPECT_GE(Next.RuleEvaluations, Prev.RuleEvaluations);
+    ASSERT_EQ(Next.Strata.size(), Prev.Strata.size());
+    for (size_t I = 0; I != Next.Strata.size(); ++I) {
+      const Evaluator::StratumStats &P = Prev.Strata[I];
+      const Evaluator::StratumStats &N = Next.Strata[I];
+      EXPECT_EQ(N.Rules, P.Rules);
+      EXPECT_GE(N.Rounds, P.Rounds);
+      EXPECT_GE(N.RuleEvaluations, P.RuleEvaluations);
+      EXPECT_GE(N.TuplesDerived, P.TuplesDerived);
+      EXPECT_GE(N.WallSeconds, P.WallSeconds);
+      EXPECT_GE(N.WorkerBusySeconds, P.WorkerBusySeconds);
+      EXPECT_GE(N.utilization(Next.Threads), 0.0);
+    }
+  };
+
+  Eval.run();
+  Evaluator::Stats First = Eval.stats();
+  EXPECT_GT(First.TuplesDerived, 0u);
+
+  Eval.run(); // no new facts: a no-op run still adds its (empty) rounds
+  Evaluator::Stats Second = Eval.stats();
+  check(First, Second);
+  EXPECT_EQ(Second.TuplesDerived, First.TuplesDerived);
+
+  DB.insertFact("edge", {"n19", "n20"});
+  Eval.run();
+  Evaluator::Stats Third = Eval.stats();
+  check(Second, Third);
+  EXPECT_GT(Third.TuplesDerived, Second.TuplesDerived);
+}
+
+TEST(ParallelProvenance, ExplainTreesAreIdenticalAcrossThreadCounts) {
+  // The acceptance bar for provenance determinism: the canonical
+  // derivation of EVERY tuple — not just relation contents — must be
+  // bit-identical for every JACKEE_THREADS setting. Rendered trees make
+  // the comparison total (rule choice, witness contents, epoch labels).
+  // Dense tuple *order* is thread-variant by design (the parallel merge
+  // appends each round content-sorted, the sequential engine in
+  // derivation order), so trees are compared as a sorted set — every tree
+  // names its root tuple in full, which makes that a content-keyed match.
+  auto explainAll = [](unsigned Threads, const char *RuleText,
+                       const std::function<void(Database &)> &LoadFacts) {
+    SymbolTable Symbols;
+    Database DB(Symbols);
+    RuleSet Rules;
+    ParserResult PR = parseRules(DB, Rules, RuleText, "parallel-test");
+    EXPECT_TRUE(PR.Ok) << PR.Error;
+    provenance::ProvenanceRecorder Recorder(DB, Rules);
+    Recorder.beginEpoch("base");
+    LoadFacts(DB);
+    Evaluator Eval(DB, Rules, Threads);
+    EXPECT_EQ(Eval.validate(), "");
+    Eval.setObserver(&Recorder);
+    Eval.run();
+
+    provenance::Explainer Ex(DB, Rules, Recorder);
+    std::vector<std::string> Trees;
+    for (uint32_t Rel = 0; Rel != DB.relationCount(); ++Rel) {
+      const Relation &R = DB.relation(RelationId(Rel));
+      for (uint32_t T = 0; T != R.size(); ++T)
+        Trees.push_back(provenance::Explainer::renderText(
+            Ex.explain(RelationId(Rel), T)));
+    }
+    std::sort(Trees.begin(), Trees.end());
+    return Trees;
+  };
+
+  struct Fixture {
+    const char *Name;
+    const char *Rules;
+    std::function<void(Database &)> Load;
+  };
+  const Fixture Fixtures[] = {
+      {"tc-wide", TransitiveClosureRules,
+       [](Database &DB) { loadRandomGraph(DB, 60, 240, 7); }},
+      {"bean-wiring", BeanWiringRules,
+       [](Database &DB) { loadBeanFacts(DB, 30, 11); }},
+  };
+  for (const Fixture &F : Fixtures) {
+    std::vector<std::string> Sequential = explainAll(1, F.Rules, F.Load);
+    EXPECT_FALSE(Sequential.empty());
+    for (unsigned Threads : {2u, 8u})
+      EXPECT_EQ(explainAll(Threads, F.Rules, F.Load), Sequential)
+          << F.Name << " at thread count " << Threads;
+  }
 }
 
 TEST(ThreadConfig, EnvVarControlsDefaultThreadCount) {
