@@ -80,6 +80,15 @@ int usage() {
               "  --no-snapshot-cache    rebuild the base program per cell\n"
               "  --benchmark_out=FILE   also write metric rows as "
               "google-benchmark-style JSON\n"
+              "  --trace-out=FILE       trace every pipeline phase and "
+              "write Chrome\n"
+              "                         trace-event JSON (load in Perfetto "
+              "or chrome://tracing);\n"
+              "                         also prints a flame summary\n"
+              "  --trace-structure=FILE write the timestamp-free span tree "
+              "(bit-identical\n"
+              "                         at any --jobs/--threads — for "
+              "determinism diffs)\n"
               "  --explain=QUERY        run ONE (benchmark, analysis) cell "
               "with provenance\n"
               "                         recording and print the derivation "
@@ -111,6 +120,15 @@ bool writeJson(const std::string &Path, const std::vector<Metrics> &Rows) {
     std::fprintf(Out, "%s%s\n", metricsToJson(Rows[I], 4).c_str(),
                  I + 1 == Rows.size() ? "" : ",");
   std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  return true;
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::fwrite(Text.data(), 1, Text.size(), Out);
   std::fclose(Out);
   return true;
 }
@@ -185,6 +203,8 @@ int runExplain(AnalysisSession &Session, const Application &App,
 int main(int Argc, char **Argv) {
   SessionOptions Options;
   std::string JsonPath;
+  std::string TracePath;
+  std::string TraceStructurePath;
   std::string ExplainQuery;
   bool ExplainJson = false;
   std::vector<const char *> Positional;
@@ -211,6 +231,12 @@ int main(int Argc, char **Argv) {
       Options.SnapshotCache = false;
     } else if (std::strncmp(Argv[I], "--benchmark_out=", 16) == 0) {
       JsonPath = Argv[I] + 16;
+    } else if (std::strncmp(Argv[I], "--trace-out=", 12) == 0) {
+      TracePath = Argv[I] + 12;
+      Options.Trace = true;
+    } else if (std::strncmp(Argv[I], "--trace-structure=", 18) == 0) {
+      TraceStructurePath = Argv[I] + 18;
+      Options.Trace = true;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
       std::printf("error: unknown option '%s'\n\n", Argv[I]);
       return usage();
@@ -319,6 +345,28 @@ int main(int Argc, char **Argv) {
     }
     std::printf("wrote %zu JSON rows to %s\n", Rows.size(),
                 JsonPath.c_str());
+  }
+
+  if (const observe::Tracer *Tracer = Session.tracer()) {
+    if (!TracePath.empty()) {
+      if (!writeTextFile(TracePath, observe::writeChromeTrace(*Tracer))) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", TracePath.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu trace spans to %s\n", Tracer->spanCount(),
+                  TracePath.c_str());
+    }
+    if (!TraceStructurePath.empty()) {
+      if (!writeTextFile(TraceStructurePath,
+                         observe::renderStructure(*Tracer))) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     TraceStructurePath.c_str());
+        return 1;
+      }
+      std::printf("wrote span structure to %s\n",
+                  TraceStructurePath.c_str());
+    }
+    std::printf("\n%s", traceFlameReport(*Tracer).c_str());
   }
   return 0;
 }

@@ -158,6 +158,13 @@ struct Metrics {
   /// result order) of each collection model builds, regardless of job
   /// count or scheduling.
   bool SnapshotCacheHit = false;
+
+  // Observability registry samples (name-sorted, see observe/Metrics.h):
+  // memory accounting (`db.relation_bytes`, `datalog.staging_bytes`,
+  // `process.peak_rss_bytes`), throughput (`datalog.stratum<I>.
+  // tuples_per_sec`), round delta-size histograms, and worker idle time.
+  // `metricsToJson` exports every sample under "observed.<name>".
+  std::vector<std::pair<std::string, double>> Observed;
   double totalSeconds() const {
     return SnapshotBuildSeconds + SnapshotCloneSeconds + PopulateSeconds +
            ElapsedSeconds;

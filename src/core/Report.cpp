@@ -6,7 +6,10 @@
 
 #include "core/Report.h"
 
+#include "observe/Json.h"
+
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -106,20 +109,42 @@ jackee::core::evaluatorStatsReport(const datalog::Evaluator::Stats &S) {
       << (S.Threads == 1 ? " thread (sequential)\n" : " threads\n");
   if (S.Strata.empty())
     return Out.str();
-  char Row[128];
-  std::snprintf(Row, sizeof(Row), "  %7s %6s %7s %7s %10s %9s %8s\n",
-                "stratum", "rules", "rounds", "passes", "tuples", "wall(s)",
-                "util(%)");
-  Out << Row;
+  // Columns are right-aligned at their legacy minimum widths but *widen*
+  // to the longest value, so very large counts can never smear rows out
+  // of alignment.
+  constexpr size_t Columns = 7;
+  const std::array<const char *, Columns> Headers = {
+      "stratum", "rules", "rounds", "passes", "tuples", "wall(s)", "util(%)"};
+  std::array<size_t, Columns> Width = {7, 6, 7, 7, 10, 9, 8};
+  std::vector<std::array<std::string, Columns>> Rows;
+  char Buf[64];
   for (size_t I = 0; I != S.Strata.size(); ++I) {
     const datalog::Evaluator::StratumStats &SS = S.Strata[I];
-    std::snprintf(Row, sizeof(Row),
-                  "  %7zu %6u %7u %7llu %10llu %9.4f %8.1f\n", I, SS.Rules,
-                  SS.Rounds, static_cast<unsigned long long>(SS.RuleEvaluations),
-                  static_cast<unsigned long long>(SS.TuplesDerived),
-                  SS.WallSeconds, 100.0 * SS.utilization(S.Threads));
-    Out << Row;
+    std::array<std::string, Columns> &Row = Rows.emplace_back();
+    Row[0] = std::to_string(I);
+    Row[1] = std::to_string(SS.Rules);
+    Row[2] = std::to_string(SS.Rounds);
+    Row[3] = std::to_string(SS.RuleEvaluations);
+    Row[4] = std::to_string(SS.TuplesDerived);
+    std::snprintf(Buf, sizeof(Buf), "%.4f", SS.WallSeconds);
+    Row[5] = Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.1f",
+                  100.0 * SS.utilization(S.Threads));
+    Row[6] = Buf;
+    for (size_t C = 0; C != Columns; ++C)
+      Width[C] = std::max(Width[C], Row[C].size());
   }
+  auto emitRow = [&](auto cell) {
+    Out << ' ';
+    for (size_t C = 0; C != Columns; ++C) {
+      std::string_view Text = cell(C);
+      Out << ' ' << std::string(Width[C] - Text.size(), ' ') << Text;
+    }
+    Out << '\n';
+  };
+  emitRow([&](size_t C) { return std::string_view(Headers[C]); });
+  for (const std::array<std::string, Columns> &Row : Rows)
+    emitRow([&](size_t C) { return std::string_view(Row[C]); });
   return Out.str();
 }
 
@@ -181,11 +206,19 @@ std::string jackee::core::ruleSetReport(const datalog::Database &DB,
   return Out.str();
 }
 
+std::string jackee::core::traceFlameReport(const observe::Tracer &T) {
+  return observe::renderFlame(T);
+}
+
 std::string jackee::core::metricsToJson(const Metrics &M, unsigned Indent) {
   const std::string Pad(Indent, ' ');
   std::ostringstream Out;
-  auto field = [&](const char *Name, const std::string &Value, bool Last = false) {
-    Out << Pad << "  \"" << Name << "\": " << Value << (Last ? "\n" : ",\n");
+  // All keys and string values go through the shared JSON escaper — an app
+  // name containing `"` or `\` must not produce unparseable output.
+  auto field = [&](std::string_view Name, const std::string &Value,
+                   bool Last = false) {
+    Out << Pad << "  " << observe::jsonQuote(Name) << ": " << Value
+        << (Last ? "\n" : ",\n");
   };
   auto num = [](double V) {
     char Buf[64];
@@ -193,7 +226,7 @@ std::string jackee::core::metricsToJson(const Metrics &M, unsigned Indent) {
     return std::string(Buf);
   };
   Out << Pad << "{\n";
-  field("name", "\"" + M.App + "/" + M.Analysis + "\"");
+  field("name", observe::jsonQuote(M.App + "/" + M.Analysis));
   field("run_type", "\"iteration\"");
   field("real_time", num(M.ElapsedSeconds));
   field("time_unit", "\"s\"");
@@ -223,6 +256,8 @@ std::string jackee::core::metricsToJson(const Metrics &M, unsigned Indent) {
   field("snapshot_clone_seconds", num(M.SnapshotCloneSeconds));
   field("populate_seconds", num(M.PopulateSeconds));
   field("total_seconds", num(M.totalSeconds()));
+  for (const auto &[Name, Value] : M.Observed)
+    field("observed." + Name, num(Value));
   field("snapshot_cache_hit", M.SnapshotCacheHit ? "true" : "false", true);
   Out << Pad << "}";
   return Out.str();

@@ -16,6 +16,7 @@
 
 #include "core/Pipeline.h"
 #include "datalog/Evaluator.h"
+#include "observe/Trace.h"
 #include "pointsto/Solver.h"
 
 #include <string>
@@ -51,6 +52,13 @@ std::string evaluatorStatsReport(const datalog::Evaluator::Stats &S);
 /// relation names and constant symbol texts.
 std::string ruleSetReport(const datalog::Database &DB,
                           const datalog::RuleSet &Rules);
+
+/// Renders a session tracer's spans as a text flame summary (same-name
+/// siblings merged per level; count, total/self seconds, share of parent)
+/// — the log-friendly view of `AnalysisSession::tracer()`. Thin alias of
+/// `observe::renderFlame`, exposed here so CLI drivers need only the core
+/// report API.
+std::string traceFlameReport(const observe::Tracer &T);
 
 /// Renders \p M as one google-benchmark-style JSON object (the element
 /// shape of a `"benchmarks"` array): `"name"` is `App/Analysis`, every

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <set>
 #include <thread>
 #include <unordered_map>
@@ -130,9 +131,24 @@ AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
     if (const char *Env = std::getenv("JACKEE_PROVENANCE"))
       RecordProvenance = std::string_view(Env) == "1" ||
                          std::string_view(Env) == "true";
+  bool TraceEnabled = Options.Trace;
+  if (const char *Env = std::getenv("JACKEE_TRACE"))
+    if (std::string_view V(Env); !V.empty()) {
+      TraceEnabled = true;
+      if (V != "1" && V != "true")
+        TraceOutPath = V; // a path: dump Chrome JSON there on destruction
+    }
+  if (TraceEnabled)
+    Trace = std::make_unique<observe::Tracer>();
 }
 
-AnalysisSession::~AnalysisSession() = default;
+AnalysisSession::~AnalysisSession() {
+  if (Trace && !TraceOutPath.empty()) {
+    std::ofstream Out(TraceOutPath);
+    if (Out)
+      Out << observe::writeChromeTrace(*Trace);
+  }
+}
 
 AnalysisSession::CacheStats AnalysisSession::cacheStats() const {
   std::lock_guard<std::mutex> Lock(CacheMutex);
@@ -148,6 +164,8 @@ AnalysisSession::snapshotFor(javalib::CollectionModel Model, bool &WasHit) {
     return *It->second;
   }
   WasHit = false;
+  observe::Span BuildSpan(Trace.get(), "snapshot-build", "session");
+  BuildSpan.arg("model", static_cast<int>(Model));
   auto Start = Clock::now();
   auto Snap = std::make_unique<Snapshot>();
   Snap->Symbols = std::make_unique<SymbolTable>();
@@ -163,10 +181,15 @@ AnalysisSession::snapshotFor(javalib::CollectionModel Model, bool &WasHit) {
 AnalysisResult AnalysisSession::runCell(
     const Application &App, AnalysisKind Kind,
     std::optional<bool> HitOverride,
-    std::unique_ptr<CellProvenance> *Capture) {
+    std::unique_ptr<CellProvenance> *Capture, uint32_t ParentSpan) {
   Metrics M;
   M.App = App.Name;
   M.Analysis = analysisName(Kind);
+  observe::Span CellSpan(Trace.get(), "cell", "session", ParentSpan);
+  CellSpan.arg("app", M.App);
+  CellSpan.arg("analysis", M.Analysis);
+  // Per-cell registry; its samples fold into `Metrics::Observed` below.
+  observe::MetricsRegistry Registry;
 
   // Base program: cloned from the snapshot cache, or built fresh.
   std::unique_ptr<SymbolTable> Symbols;
@@ -176,10 +199,12 @@ AnalysisResult AnalysisSession::runCell(
   if (Options.SnapshotCache) {
     bool Hit = false;
     const Snapshot &Snap = snapshotFor(collectionModel(Kind), Hit);
+    observe::Span CloneSpan(Trace.get(), "snapshot-clone", "session");
     auto CloneStart = Clock::now();
     Symbols = Snap.Symbols->clone();
     Owned = Snap.Base->clone(*Symbols);
     M.SnapshotCloneSeconds = secondsSince(CloneStart);
+    CloneSpan.end();
     Lib = Snap.Lib;
     Fw = Snap.Frameworks;
     M.SnapshotCacheHit = HitOverride.value_or(Hit);
@@ -193,6 +218,7 @@ AnalysisResult AnalysisSession::runCell(
         ++Stats.SnapshotHits;
     }
   } else {
+    observe::Span BuildSpan(Trace.get(), "base-build", "session");
     auto BuildStart = Clock::now();
     Symbols = std::make_unique<SymbolTable>();
     Owned = std::make_unique<Program>(*Symbols);
@@ -204,6 +230,7 @@ AnalysisResult AnalysisSession::runCell(
 
   // Application assembly. Every failure that used to be an `assert` is an
   // `AnalysisError` now.
+  observe::Span PopulateSpan(Trace.get(), "populate", "session");
   auto PopulateStart = Clock::now();
   std::vector<std::pair<std::string, std::string>> Configs =
       App.Populate(P, Lib, Fw);
@@ -213,6 +240,8 @@ AnalysisResult AnalysisSession::runCell(
   auto OwnedDB = std::make_unique<datalog::Database>(P.symbols());
   datalog::Database &DB = *OwnedDB;
   frameworks::FrameworkManager FM(P, DB, Options.MockOptions, CellThreads);
+  FM.setTracer(Trace.get());
+  FM.setMetricsRegistry(&Registry);
   std::unique_ptr<provenance::ProvenanceRecorder> Recorder;
   if (RecordProvenance || Capture) {
     Recorder = std::make_unique<provenance::ProvenanceRecorder>(DB, FM.rules());
@@ -237,9 +266,12 @@ AnalysisResult AnalysisSession::runCell(
                          App.Name + ": " + Err};
 
   Solver S(P, solverConfig(Kind));
+  S.setTracer(Trace.get());
   S.addPlugin(&FM);
   M.PopulateSeconds = secondsSince(PopulateStart);
+  PopulateSpan.end();
 
+  observe::Span SolveSpan(Trace.get(), "solve", "session");
   auto Start = Clock::now();
   if (!App.MainClass.empty()) {
     TypeId MainTy = P.findType(App.MainClass);
@@ -256,8 +288,14 @@ AnalysisResult AnalysisSession::runCell(
   }
   S.solve();
   M.ElapsedSeconds = secondsSince(Start);
+  SolveSpan.arg("work_items", S.stats().WorkItems);
+  SolveSpan.arg("rounds", S.stats().PluginRounds);
+  SolveSpan.end();
 
-  collectMetrics(M, P, S);
+  {
+    observe::Span CollectSpan(Trace.get(), "collect-metrics", "session");
+    collectMetrics(M, P, S);
+  }
   M.EntryPointsExercised = FM.stats().EntryPointsExercised;
   M.BeansCreated = FM.stats().BeansCreated;
   M.InjectionsApplied = FM.stats().InjectionsApplied;
@@ -273,6 +311,15 @@ AnalysisResult AnalysisSession::runCell(
     M.DatalogUtilization =
         Wall > 0 && ES->Threads > 1 ? Busy / (Wall * ES->Threads) : 0.0;
   }
+  // Fold the cell's registry into the exported metrics. The gauges set
+  // here are end-of-cell state; everything else accumulated during
+  // evaluation.
+  Registry.set("db.relation_bytes", static_cast<double>(DB.bytes()));
+  Registry.set("process.peak_rss_bytes",
+               static_cast<double>(observe::processPeakRssBytes()));
+  for (const observe::MetricsRegistry::Sample &Sample : Registry.snapshot())
+    M.Observed.emplace_back(Sample.Name, Sample.Value);
+
   if (Recorder) {
     M.ProvenanceEnabled = true;
     M.ProvenanceTuplesRecorded = Recorder->stats().TuplesRecorded;
@@ -315,6 +362,13 @@ AnalysisSession::runMatrix(const std::vector<Application> &Apps,
   if (N == 0)
     return {};
 
+  // The matrix span carries only job-count-independent args; cells parent
+  // under it explicitly since they may start on worker threads.
+  observe::Span MatrixSpan(Trace.get(), "matrix", "session");
+  MatrixSpan.arg("apps", Apps.size());
+  MatrixSpan.arg("kinds", Kinds.size());
+  MatrixSpan.arg("cells", N);
+
   // Deterministic miss attribution: walk cells in result order and build
   // the snapshot of each collection model at its first use, sequentially,
   // before any fan-out. Workers then only ever hit the cache, and the
@@ -339,7 +393,8 @@ AnalysisSession::runMatrix(const std::vector<Application> &Apps,
     std::optional<bool> HitOverride;
     if (Options.SnapshotCache)
       HitOverride = !BuildsSnapshot[I];
-    Slots[I] = runCell(App, Kind, HitOverride);
+    Slots[I] = runCell(App, Kind, HitOverride, /*Capture=*/nullptr,
+                       MatrixSpan.id());
   };
 
   unsigned Workers =

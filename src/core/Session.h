@@ -41,6 +41,8 @@
 #define JACKEE_CORE_SESSION_H
 
 #include "core/Pipeline.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 
 #include <map>
 #include <memory>
@@ -78,6 +80,17 @@ struct SessionOptions {
   /// via the three-argument `run()` overload (which enables recording for
   /// that cell regardless of this flag).
   bool Provenance = false;
+
+  /// Collect spans for every phase the session drives (snapshot builds,
+  /// cells, populate/solve, bean-wiring rounds, Datalog strata/rounds) in
+  /// an `observe::Tracer` reachable via `tracer()`. When false, the
+  /// `JACKEE_TRACE` environment variable still enables it: "1"/"true"
+  /// just turn tracing on; any other non-empty value additionally names a
+  /// file the session writes as Chrome trace-event JSON on destruction.
+  /// The timestamp-stripped span structure (`observe::renderStructure`) is
+  /// bit-identical at any `Jobs`/`DatalogThreads` setting — see
+  /// observe/Trace.h for the contract.
+  bool Trace = false;
 
   /// Mock-policy tuning, applied to every cell.
   frameworks::MockPolicyOptions MockOptions;
@@ -139,6 +152,12 @@ public:
   };
   CacheStats cacheStats() const;
 
+  /// The session's span tracer, or null when tracing is disabled (see
+  /// `SessionOptions::Trace`). Valid for the session's lifetime; render
+  /// with `observe::renderStructure` / `renderFlame` /
+  /// `writeChromeTrace`.
+  observe::Tracer *tracer() const { return Trace.get(); }
+
   /// The resolved matrix worker count.
   unsigned jobCount() const { return Jobs; }
 
@@ -166,14 +185,20 @@ private:
   /// observed cache-hit flag — `runMatrix` uses it to attribute the miss
   /// to the first cell of each model deterministically. \p Capture, when
   /// non-null, forces provenance recording and receives the cell state.
+  /// \p ParentSpan explicitly parents the cell's span — `runMatrix` passes
+  /// the matrix span so cells running on worker threads still nest under
+  /// it (see `Tracer::beginSpan`).
   AnalysisResult runCell(const Application &App, AnalysisKind Kind,
                          std::optional<bool> HitOverride,
-                         std::unique_ptr<CellProvenance> *Capture = nullptr);
+                         std::unique_ptr<CellProvenance> *Capture = nullptr,
+                         uint32_t ParentSpan = observe::Tracer::NoSpan);
 
   SessionOptions Options;
   unsigned Jobs = 1;        ///< resolved matrix worker count
   unsigned CellThreads = 0; ///< resolved per-cell Datalog worker count
   bool RecordProvenance = false; ///< Options.Provenance or JACKEE_PROVENANCE
+  std::unique_ptr<observe::Tracer> Trace; ///< null when tracing is off
+  std::string TraceOutPath; ///< from JACKEE_TRACE; written by the dtor
 
   mutable std::mutex CacheMutex;
   std::map<javalib::CollectionModel, std::unique_ptr<Snapshot>> Cache;

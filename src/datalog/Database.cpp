@@ -131,6 +131,19 @@ Relation::lookupPrebuilt(std::span<const uint32_t> Columns,
   return It == Found->Postings.end() ? &EmptyPostings : &It->second;
 }
 
+size_t Relation::bytes() const {
+  size_t Total = Data.capacity() * sizeof(Symbol) +
+                 Dedup.bucket_count() * sizeof(void *) +
+                 Dedup.size() * (sizeof(uint32_t) + sizeof(void *));
+  for (const auto &Idx : Indexes) {
+    Total += sizeof(Index) + Idx->Columns.capacity() * sizeof(uint32_t) +
+             Idx->Postings.bucket_count() * sizeof(void *);
+    for (const auto &[Hash, Postings] : Idx->Postings)
+      Total += sizeof(Hash) + Postings.capacity() * sizeof(uint32_t);
+  }
+  return Total;
+}
+
 RelationId Database::declare(std::string_view Name, uint32_t Arity) {
   auto It = ByName.find(std::string(Name));
   if (It != ByName.end()) {

@@ -101,6 +101,11 @@ public:
   lookupPrebuilt(std::span<const uint32_t> Columns,
                  std::span<const Symbol> Key) const;
 
+  /// Approximate heap bytes of this relation: tuple store capacity, dedup
+  /// table, and every index's postings lists. Feeds the metrics registry
+  /// (`db.relation_bytes`).
+  size_t bytes() const;
+
 private:
   struct Index {
     std::vector<uint32_t> Columns;
@@ -175,6 +180,14 @@ public:
   /// Convenience: true if \p Name contains the tuple of interned \p Texts.
   bool containsFact(std::string_view Name,
                     std::initializer_list<std::string_view> Texts) const;
+
+  /// Approximate heap bytes across all relations (see `Relation::bytes`).
+  size_t bytes() const {
+    size_t Total = 0;
+    for (const auto &R : Relations)
+      Total += R->bytes();
+    return Total;
+  }
 
 private:
   SymbolTable &Symbols;

@@ -211,12 +211,24 @@ void Evaluator::run() {
     }
   }
   for (size_t I = 0; I != Strata.size(); ++I) {
+    StratumStats &SS = EvalStats.Strata[I];
+    observe::Span StratumSpan(Trace, "stratum", "datalog");
+    StratumSpan.arg("index", I);
+    StratumSpan.arg("rules", SS.Rules);
+    uint64_t TuplesBefore = SS.TuplesDerived;
+    uint32_t RoundsBefore = SS.Rounds;
     auto Start = std::chrono::steady_clock::now();
-    runStratum(Strata[I], EvalStats.Strata[I]);
-    EvalStats.Strata[I].WallSeconds +=
+    runStratum(Strata[I], SS);
+    SS.WallSeconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
+    StratumSpan.arg("rounds", SS.Rounds - RoundsBefore);
+    StratumSpan.arg("tuples", SS.TuplesDerived - TuplesBefore);
+    if (Registry && SS.WallSeconds > 0)
+      Registry->set("datalog.stratum" + std::to_string(I) +
+                        ".tuples_per_sec",
+                    static_cast<double>(SS.TuplesDerived) / SS.WallSeconds);
   }
 }
 
@@ -285,7 +297,19 @@ void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
     appendPassTasks(Tasks, Plans, RuleIdx, /*DeltaAtom=*/-1, 0, DriveTo);
   }
   ++SS.Rounds;
-  executeRound(S, Tasks, Plans, Limit, SS);
+  {
+    observe::Span RoundSpan(Trace, "round", "datalog");
+    RoundSpan.arg("round", SS.Rounds);
+    RoundSpan.arg("kind", "seed");
+    uint64_t TuplesBefore = SS.TuplesDerived;
+    uint64_t PassesBefore = SS.RuleEvaluations;
+    executeRound(S, Tasks, Plans, Limit, SS);
+    RoundSpan.arg("passes", SS.RuleEvaluations - PassesBefore);
+    RoundSpan.arg("tuples", SS.TuplesDerived - TuplesBefore);
+    if (Registry)
+      Registry->observe("datalog.round_delta_tuples",
+                        static_cast<double>(SS.TuplesDerived - TuplesBefore));
+  }
 
   // Delta rounds.
   DeltaBegin = SeedStart;
@@ -315,7 +339,20 @@ void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
       }
     }
     ++SS.Rounds;
-    executeRound(S, Tasks, Plans, Limit, SS);
+    {
+      observe::Span RoundSpan(Trace, "round", "datalog");
+      RoundSpan.arg("round", SS.Rounds);
+      RoundSpan.arg("kind", "delta");
+      uint64_t TuplesBefore = SS.TuplesDerived;
+      uint64_t PassesBefore = SS.RuleEvaluations;
+      executeRound(S, Tasks, Plans, Limit, SS);
+      RoundSpan.arg("passes", SS.RuleEvaluations - PassesBefore);
+      RoundSpan.arg("tuples", SS.TuplesDerived - TuplesBefore);
+      if (Registry)
+        Registry->observe(
+            "datalog.round_delta_tuples",
+            static_cast<double>(SS.TuplesDerived - TuplesBefore));
+    }
 
     DeltaBegin = DeltaEnd;
     snapshotSizes(DeltaEnd);
@@ -368,13 +405,32 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
   for (size_t W = 0; W != Threads; ++W)
     Staging[W].beginRound(DB.relationCount());
 
-  SS.WorkerBusySeconds += Pool->runBatch(
-      static_cast<uint32_t>(Tasks.size()),
-      [&](uint32_t TaskIdx, unsigned Worker) {
-        const Task &T = Tasks[TaskIdx];
-        evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
-                     T.DriveTo, T.HasDrive, Limit, &Staging[Worker]);
-      });
+  auto BatchStart = std::chrono::steady_clock::now();
+  double Busy;
+  {
+    observe::Span ExecuteSpan(Trace, "execute", observe::Tracer::WorkerCategory);
+    ExecuteSpan.arg("tasks", Tasks.size());
+    Busy = Pool->runBatch(
+        static_cast<uint32_t>(Tasks.size()),
+        [&](uint32_t TaskIdx, unsigned Worker) {
+          const Task &T = Tasks[TaskIdx];
+          evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
+                       T.DriveTo, T.HasDrive, Limit, &Staging[Worker]);
+        });
+  }
+  SS.WorkerBusySeconds += Busy;
+  if (Registry) {
+    double BatchWall = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - BatchStart)
+                           .count();
+    Registry->add("datalog.worker_idle_seconds",
+                  std::max(0.0, BatchWall * Threads - Busy));
+    size_t StagingBytes = 0;
+    for (size_t W = 0; W != Staging.size(); ++W)
+      StagingBytes += Staging[W].bytes();
+    Registry->set("datalog.staging_bytes",
+                  static_cast<double>(StagingBytes));
+  }
 
   uint64_t NewTuples = mergeStaging(S);
   EvalStats.TuplesDerived += NewTuples;
@@ -414,6 +470,14 @@ uint64_t Evaluator::mergeStaging(const Stratum &S) {
     Relation &R = DB.relation(RelationId(Rel));
     uint32_t Arity = R.arity();
     uint32_t Count = static_cast<uint32_t>(Concat.size() / Arity);
+    // Merge segments are performance detail (staged counts vary with worker
+    // scheduling), hence worker-category.
+    observe::Span MergeSpan;
+    if (Trace) {
+      MergeSpan = observe::Span(Trace, "merge:" + R.name(),
+                                observe::Tracer::WorkerCategory);
+      MergeSpan.arg("staged", Count);
+    }
     Order.resize(Count);
     for (uint32_t I = 0; I != Count; ++I)
       Order[I] = I;

@@ -28,6 +28,8 @@
 #define JACKEE_DATALOG_EVALUATOR_H
 
 #include "datalog/Rule.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "support/Arena.h"
 
 #include <cstdint>
@@ -141,6 +143,23 @@ public:
   void setObserver(DerivationObserver *O) { Observer = O; }
   DerivationObserver *observer() const { return Observer; }
 
+  /// Attaches \p T as the span tracer (nullptr detaches). Strata and
+  /// semi-naive rounds emit structural `datalog`-category spans whose args
+  /// (round index, tuple/pass counts) are thread-invariant; parallel rounds
+  /// additionally emit `worker`-category detail spans (task batches,
+  /// per-relation merge segments) that are excluded from the deterministic
+  /// structure — see observe/Trace.h. With no tracer the hot paths gain a
+  /// single pointer test.
+  void setTracer(observe::Tracer *T) { Trace = T; }
+  observe::Tracer *tracer() const { return Trace; }
+
+  /// Attaches \p R as the metrics registry (nullptr detaches). The engine
+  /// records round delta sizes (`datalog.round_delta_tuples`), summed
+  /// worker idle time (`datalog.worker_idle_seconds`), and retained
+  /// staging-arena bytes (`datalog.staging_bytes`).
+  void setMetricsRegistry(observe::MetricsRegistry *R) { Registry = R; }
+  observe::MetricsRegistry *metricsRegistry() const { return Registry; }
+
   /// The resolved worker count (after env var / hardware defaulting).
   unsigned threadCount() const { return Threads; }
 
@@ -213,6 +232,8 @@ private:
   PerWorker<StagingArena> Staging;       ///< one arena per worker
 
   DerivationObserver *Observer = nullptr;
+  observe::Tracer *Trace = nullptr;
+  observe::MetricsRegistry *Registry = nullptr;
   /// Positive-body-atom count per rule (a staged derivation's witness
   /// count), built lazily on first observed run.
   std::vector<uint32_t> PositiveArity;

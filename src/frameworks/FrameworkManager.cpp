@@ -67,13 +67,21 @@ std::string FrameworkManager::prepare() {
   assert(!Prepared && "prepare() called twice");
   if (Provenance)
     Provenance->beginEpoch("extraction");
-  Facts.extractProgram(P);
-  for (const auto &[FileName, Doc] : Configs)
+  {
+    observe::Span ExtractSpan(Trace, "extract-program", "frameworks");
+    Facts.extractProgram(P);
+  }
+  for (const auto &[FileName, Doc] : Configs) {
+    observe::Span XmlSpan(Trace, "extract-xml", "frameworks");
+    XmlSpan.arg("file", FileName);
     Facts.extractXml(Doc, FileName);
+  }
   Eval = std::make_unique<datalog::Evaluator>(DB, Rules, DatalogThreads);
   if (std::string Err = Eval->validate(); !Err.empty())
     return Err;
   Eval->setObserver(Provenance);
+  Eval->setTracer(Trace);
+  Eval->setMetricsRegistry(Registry);
   Prepared = true;
   return "";
 }
@@ -85,8 +93,15 @@ std::string FrameworkManager::prepare() {
 bool FrameworkManager::onFixpoint(Solver &S) {
   assert(Prepared && "prepare() must run before solving");
   ++WiringRound;
+  observe::Span RoundSpan(Trace, "wiring-round", "frameworks");
+  RoundSpan.arg("round", WiringRound);
   auto T0 = std::chrono::steady_clock::now();
-  Eval->run();
+  {
+    observe::Span EvalSpan(Trace, "evaluate", "frameworks");
+    uint64_t TuplesBefore = Eval->stats().TuplesDerived;
+    Eval->run();
+    EvalSpan.arg("tuples", Eval->stats().TuplesDerived - TuplesBefore);
+  }
   auto T1 = std::chrono::steady_clock::now();
   // Epoch boundary: base facts inserted from here until the next run()
   // (by the glue below or externally between solver rounds) are attributed
@@ -95,12 +110,21 @@ bool FrameworkManager::onFixpoint(Solver &S) {
     Provenance->beginEpoch("bean-wiring round " +
                            std::to_string(WiringRound));
 
+  // One span per glue action; `changed` is deterministic round by round.
+  auto glue = [&](const char *Name, bool (FrameworkManager::*Action)(Solver &)) {
+    observe::Span GlueSpan(Trace, Name, "frameworks");
+    bool ActionChanged = (this->*Action)(S);
+    GlueSpan.arg("changed", ActionChanged);
+    return ActionChanged;
+  };
   bool Changed = false;
-  Changed |= processGeneratedObjects(S);
-  Changed |= processInjections(S);
-  Changed |= processMethodInjections(S);
-  Changed |= processEntryPoints(S);
-  Changed |= processGetBean(S);
+  Changed |= glue("glue:generated-objects",
+                  &FrameworkManager::processGeneratedObjects);
+  Changed |= glue("glue:injections", &FrameworkManager::processInjections);
+  Changed |= glue("glue:method-injections",
+                  &FrameworkManager::processMethodInjections);
+  Changed |= glue("glue:entry-points", &FrameworkManager::processEntryPoints);
+  Changed |= glue("glue:get-bean", &FrameworkManager::processGetBean);
   auto T2 = std::chrono::steady_clock::now();
   FrameworkStats.EvaluatorSeconds +=
       std::chrono::duration<double>(T1 - T0).count();

@@ -91,6 +91,23 @@ public:
     Provenance = R;
   }
 
+  /// Attaches \p T as the span tracer (nullptr detaches). Call before
+  /// `prepare()` so the extraction spans are captured and the tracer is
+  /// forwarded to the Datalog evaluator. Each bean-wiring round emits a
+  /// structural `frameworks`-category span tree (evaluate + one span per
+  /// glue action); all args are deterministic.
+  void setTracer(observe::Tracer *T) {
+    assert(!Prepared && "attach the tracer before prepare()");
+    Trace = T;
+  }
+
+  /// Attaches \p R as the metrics registry (nullptr detaches); forwarded to
+  /// the Datalog evaluator by `prepare()`.
+  void setMetricsRegistry(observe::MetricsRegistry *R) {
+    assert(!Prepared && "attach the registry before prepare()");
+    Registry = R;
+  }
+
   /// The registered rule set (vocabulary + frameworks); rule indexes in
   /// provenance records point into this.
   const datalog::RuleSet &rules() const { return Rules; }
@@ -164,6 +181,8 @@ private:
   bool Prepared = false;
 
   provenance::ProvenanceRecorder *Provenance = nullptr;
+  observe::Tracer *Trace = nullptr;
+  observe::MetricsRegistry *Registry = nullptr;
   uint32_t WiringRound = 0; ///< onFixpoint invocations so far
 };
 

@@ -1,0 +1,77 @@
+//===- Json.h - Minimal JSON string escaping --------------------*- C++ -*-===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String escaping per RFC 8259, shared by every JSON writer in the tree
+/// (Chrome trace export, `core::metricsToJson`, benchmark JSON). Having one
+/// escaper is the fix for a class of bugs where a name containing `"` or a
+/// backslash silently produced unparseable output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JACKEE_OBSERVE_JSON_H
+#define JACKEE_OBSERVE_JSON_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace jackee {
+namespace observe {
+
+/// Escapes \p Text for use inside a JSON string literal: `"` and `\` get a
+/// backslash, the common control characters get their short forms, and every
+/// other byte below 0x20 becomes a `\u00XX` sequence. Bytes >= 0x80 pass
+/// through untouched (UTF-8 is valid in JSON strings).
+inline std::string jsonEscape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// `jsonEscape` wrapped in double quotes — a complete JSON string literal.
+inline std::string jsonQuote(std::string_view Text) {
+  return '"' + jsonEscape(Text) + '"';
+}
+
+} // namespace observe
+} // namespace jackee
+
+#endif // JACKEE_OBSERVE_JSON_H

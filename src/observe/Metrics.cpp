@@ -1,0 +1,144 @@
+//===- Metrics.cpp --------------------------------------------------------===//
+//
+// Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+using namespace jackee;
+using namespace jackee::observe;
+
+MetricsRegistry::Metric &MetricsRegistry::metricFor(std::string_view Name,
+                                                    Kind K) {
+  auto It = Metrics.find(Name);
+  if (It == Metrics.end())
+    It = Metrics.emplace(std::string(Name), Metric{K, 0, 0, 0, 0, 0, {}})
+             .first;
+  assert(It->second.MetricKind == K && "metric recorded under two kinds");
+  return It->second;
+}
+
+void MetricsRegistry::add(std::string_view Name, double Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Metric &M = metricFor(Name, Kind::Counter);
+  if (M.MetricKind == Kind::Counter)
+    M.Value += Delta;
+}
+
+void MetricsRegistry::set(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Metric &M = metricFor(Name, Kind::Gauge);
+  if (M.MetricKind == Kind::Gauge)
+    M.Value = Value;
+}
+
+void MetricsRegistry::observe(std::string_view Name, double Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Metric &M = metricFor(Name, Kind::Histogram);
+  if (M.MetricKind != Kind::Histogram)
+    return;
+  if (M.Count == 0) {
+    M.Min = M.Max = Value;
+  } else {
+    M.Min = std::min(M.Min, Value);
+    M.Max = std::max(M.Max, Value);
+  }
+  ++M.Count;
+  M.Sum += Value;
+  size_t Bucket = 0;
+  if (Value > 1) {
+    int Exp = 0;
+    double Mant = std::frexp(Value, &Exp); // Value = Mant * 2^Exp
+    // Smallest i with Value <= 2^i: an exact power of two (Mant == 0.5)
+    // belongs to the bucket below.
+    int I = Mant == 0.5 ? Exp - 1 : Exp;
+    Bucket = std::min<size_t>(static_cast<size_t>(I > 0 ? I : 0),
+                              BucketCount - 1);
+  }
+  ++M.Buckets[Bucket];
+}
+
+namespace {
+
+/// The upper bound of bucket \p B (see the bucket comment in Metrics.h).
+double bucketUpper(size_t B) {
+  return B == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(B));
+}
+
+/// Bucket-resolution quantile: the upper bound of the first bucket whose
+/// cumulative count reaches `q * total`, clamped into [min, max].
+double quantile(const std::array<uint64_t, 64> &Buckets, uint64_t Total,
+                double Q, double Min, double Max) {
+  uint64_t Target =
+      static_cast<uint64_t>(std::ceil(Q * static_cast<double>(Total)));
+  if (Target == 0)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B != Buckets.size(); ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Target)
+      return std::min(std::max(bucketUpper(B), Min), Max);
+  }
+  return Max;
+}
+
+} // namespace
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<Sample> Out;
+  Out.reserve(Metrics.size());
+  for (const auto &[Name, M] : Metrics) {
+    switch (M.MetricKind) {
+    case Kind::Counter:
+    case Kind::Gauge:
+      Out.push_back({Name, M.Value});
+      break;
+    case Kind::Histogram:
+      Out.push_back({Name + ".count", static_cast<double>(M.Count)});
+      Out.push_back({Name + ".sum", M.Sum});
+      Out.push_back({Name + ".min", M.Min});
+      Out.push_back({Name + ".max", M.Max});
+      Out.push_back(
+          {Name + ".p50", quantile(M.Buckets, M.Count, 0.50, M.Min, M.Max)});
+      Out.push_back(
+          {Name + ".p95", quantile(M.Buckets, M.Count, 0.95, M.Min, M.Max)});
+      break;
+    }
+  }
+  // std::map iteration is name-sorted; the histogram expansion keeps each
+  // group contiguous but its suffixes unsorted — fix that up.
+  std::sort(Out.begin(), Out.end(),
+            [](const Sample &A, const Sample &B) { return A.Name < B.Name; });
+  return Out;
+}
+
+size_t MetricsRegistry::metricCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Metrics.size();
+}
+
+uint64_t jackee::observe::processPeakRssBytes() {
+#if defined(__linux__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  return static_cast<uint64_t>(Usage.ru_maxrss) * 1024; // KiB on Linux
+#elif defined(__APPLE__)
+  struct rusage Usage;
+  if (getrusage(RUSAGE_SELF, &Usage) != 0)
+    return 0;
+  return static_cast<uint64_t>(Usage.ru_maxrss); // bytes on macOS
+#else
+  return 0;
+#endif
+}

@@ -337,11 +337,15 @@ void Solver::drainWorklist() {
 
 void Solver::solve() {
   while (true) {
+    observe::Span FixpointSpan(Trace, "fixpoint", "solver");
+    FixpointSpan.arg("round", SolverStats.PluginRounds + 1);
+    uint64_t ItemsBefore = SolverStats.WorkItems;
     drainWorklist();
     bool Changed = false;
     for (Plugin *PluginPtr : Plugins)
       Changed |= PluginPtr->onFixpoint(*this);
     ++SolverStats.PluginRounds;
+    FixpointSpan.arg("work_items", SolverStats.WorkItems - ItemsBefore);
     if (!Changed && Worklist.empty())
       break;
   }

@@ -40,6 +40,7 @@
 #define JACKEE_POINTSTO_SOLVER_H
 
 #include "ir/Program.h"
+#include "observe/Trace.h"
 #include "pointsto/Context.h"
 #include "support/DenseSet.h"
 
@@ -91,6 +92,13 @@ public:
 
   /// Registers \p PluginPtr (not owned). Plugins run in registration order.
   void addPlugin(Plugin *PluginPtr) { Plugins.push_back(PluginPtr); }
+
+  /// Attaches \p T as the span tracer (nullptr detaches). `solve()` emits
+  /// one structural `solver`-category "fixpoint" span per
+  /// drain-worklist/plugin iteration, whose args (round index, work-item
+  /// counts) are deterministic for a given analysis input.
+  void setTracer(observe::Tracer *T) { Trace = T; }
+  observe::Tracer *tracer() const { return Trace; }
 
   // --- Seeding (used by drivers and the framework layer) -----------------
 
@@ -306,6 +314,7 @@ private:
   std::deque<std::pair<NodeId, ValueId>> Worklist;
   std::vector<Plugin *> Plugins;
   Stats SolverStats;
+  observe::Tracer *Trace = nullptr;
 
   static const std::vector<NodeId> NoInstances;
 };

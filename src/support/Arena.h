@@ -123,6 +123,22 @@ public:
     return Rel < Prov.size() ? Prov[Rel] : Empty;
   }
 
+  /// Bytes of heap the arena retains, counting buffer *capacity* (cleared
+  /// buffers keep their allocations across rounds — that retained high-water
+  /// mark is exactly what the metrics registry wants to see).
+  size_t bytes() const {
+    size_t Total = Buffers.capacity() * sizeof(std::vector<Symbol>) +
+                   Prov.capacity() * sizeof(ProvBuffer) +
+                   Touched.capacity() * sizeof(uint32_t);
+    for (const std::vector<Symbol> &B : Buffers)
+      Total += B.capacity() * sizeof(Symbol);
+    for (const ProvBuffer &P : Prov)
+      Total += (P.Rule.capacity() + P.RefBegin.capacity() +
+                P.Refs.capacity()) *
+               sizeof(uint32_t);
+    return Total;
+  }
+
 private:
   std::vector<std::vector<Symbol>> Buffers; ///< indexed by relation id
   std::vector<ProvBuffer> Prov;             ///< indexed by relation id
