@@ -149,6 +149,50 @@ BENCHMARK(BM_TransitiveClosureThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Join-plan A/B probe: a three-way join spelled worst-first (the huge
+/// relation drives textually, the tiny filter comes last). The textual
+/// plan enumerates big × mid before ever consulting tiny; the greedy plan
+/// starts from tiny and probes the others through bound keys. Arg(1)
+/// selects the mode (0 = textual, 1 = greedy); results are identical, the
+/// time difference is the planner's win (see EXPERIMENTS.md).
+static void BM_JoinOrderAdversarial(benchmark::State &State) {
+  const int64_t BigFacts = State.range(0);
+  const PlanMode Mode =
+      State.range(1) ? PlanMode::Greedy : PlanMode::Textual;
+  uint64_t Result = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    SymbolTable Symbols;
+    Database DB(Symbols);
+    RuleSet Rules;
+    parseRules(DB, Rules,
+               ".decl big(a: symbol, b: symbol)\n"
+               ".decl mid(b: symbol, c: symbol)\n"
+               ".decl tiny(c: symbol)\n"
+               ".decl q(a: symbol, c: symbol)\n"
+               "q(a, c) :- big(a, b), mid(b, c), tiny(c).\n",
+               "bench");
+    for (int64_t I = 0; I != BigFacts; ++I)
+      DB.insertFact("big", {"a" + std::to_string(I % 997),
+                            "b" + std::to_string(I % 61)});
+    for (int64_t I = 0; I != 600; ++I)
+      DB.insertFact("mid",
+                    {"b" + std::to_string(I % 61), "c" + std::to_string(I)});
+    for (int64_t I = 0; I != 4; ++I)
+      DB.insertFact("tiny", {"c" + std::to_string(I)});
+    Evaluator Eval(DB, Rules, /*Threads=*/1, Mode);
+    State.ResumeTiming();
+    Eval.run();
+    Result = DB.relation(DB.find("q")).size();
+    benchmark::DoNotOptimize(Result);
+  }
+  State.counters["q_tuples"] = static_cast<double>(Result);
+}
+BENCHMARK(BM_JoinOrderAdversarial)
+    ->ArgsProduct({{20000, 80000}, {0, 1}})
+    ->ArgNames({"big", "greedy"})
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_ParseFrameworkScaleRules(benchmark::State &State) {
   // A rule text comparable to one framework model.
   std::string Text = ".decl ConcreteApplicationClass(c: symbol)\n"

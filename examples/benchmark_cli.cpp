@@ -77,6 +77,12 @@ int usage() {
               "(default: JACKEE_JOBS or hardware)\n"
               "  --threads=N            per-cell Datalog workers "
               "(default: 1 when jobs > 1)\n"
+              "  --plan=MODE            Datalog join planning: 'greedy' "
+              "(cost-guided,\n"
+              "                         the default) or 'textual' (body "
+              "order) — results are\n"
+              "                         bit-identical; also via "
+              "JACKEE_PLAN\n"
               "  --no-snapshot-cache    rebuild the base program per cell\n"
               "  --benchmark_out=FILE   also write metric rows as "
               "google-benchmark-style JSON\n"
@@ -227,6 +233,11 @@ int main(int Argc, char **Argv) {
         return usage();
       }
       Options.Jobs = static_cast<unsigned>(N);
+    } else if (std::strncmp(Argv[I], "--plan=", 7) == 0) {
+      if (!datalog::parsePlanMode(Argv[I] + 7, Options.Plan)) {
+        std::printf("error: --plan must be 'textual' or 'greedy'\n\n");
+        return usage();
+      }
     } else if (std::strcmp(Argv[I], "--no-snapshot-cache") == 0) {
       Options.SnapshotCache = false;
     } else if (std::strncmp(Argv[I], "--benchmark_out=", 16) == 0) {

@@ -177,6 +177,11 @@ struct PipelineOptions {
   /// `JACKEE_THREADS` environment variable, falling back to
   /// `hardware_concurrency`; 1 forces the sequential engine.
   unsigned DatalogThreads = 0;
+
+  /// Join-plan mode for Datalog rule evaluation (see `datalog::PlanMode`).
+  /// `Auto` resolves `JACKEE_PLAN`, defaulting to the greedy cost-guided
+  /// planner; results are bit-identical in either mode.
+  datalog::PlanMode Plan = datalog::PlanMode::Auto;
 };
 
 /// What can go wrong assembling and running an analysis. These used to be

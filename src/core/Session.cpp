@@ -239,7 +239,8 @@ AnalysisResult AnalysisSession::runCell(
   // with the rest of the cell state instead of copying relations.
   auto OwnedDB = std::make_unique<datalog::Database>(P.symbols());
   datalog::Database &DB = *OwnedDB;
-  frameworks::FrameworkManager FM(P, DB, Options.MockOptions, CellThreads);
+  frameworks::FrameworkManager FM(P, DB, Options.MockOptions, CellThreads,
+                                  Options.Plan);
   FM.setTracer(Trace.get());
   FM.setMetricsRegistry(&Registry);
   std::unique_ptr<provenance::ProvenanceRecorder> Recorder;
@@ -315,6 +316,7 @@ AnalysisResult AnalysisSession::runCell(
   // here are end-of-cell state; everything else accumulated during
   // evaluation.
   Registry.set("db.relation_bytes", static_cast<double>(DB.bytes()));
+  Registry.set("db.index_bytes", static_cast<double>(DB.indexBytes()));
   Registry.set("process.peak_rss_bytes",
                static_cast<double>(observe::processPeakRssBytes()));
   for (const observe::MetricsRegistry::Sample &Sample : Registry.snapshot())

@@ -67,6 +67,12 @@ struct SessionOptions {
   /// evaluator's own `JACKEE_THREADS`/hardware default.
   unsigned DatalogThreads = 0;
 
+  /// Join-plan mode for Datalog rule evaluation in every cell. `Auto`
+  /// resolves the `JACKEE_PLAN` environment variable
+  /// ("textual"/"greedy"), defaulting to the greedy cost-guided planner;
+  /// results are bit-identical in either mode (see `datalog::PlanMode`).
+  datalog::PlanMode Plan = datalog::PlanMode::Auto;
+
   /// Cache and clone base-program snapshots. Disabling rebuilds the base
   /// program per cell (the pre-session behavior) — kept as an explicit
   /// mode so equivalence is testable and the cache win is measurable.

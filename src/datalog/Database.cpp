@@ -131,10 +131,28 @@ Relation::lookupPrebuilt(std::span<const uint32_t> Columns,
   return It == Found->Postings.end() ? &EmptyPostings : &It->second;
 }
 
-size_t Relation::bytes() const {
-  size_t Total = Data.capacity() * sizeof(Symbol) +
-                 Dedup.bucket_count() * sizeof(void *) +
-                 Dedup.size() * (sizeof(uint32_t) + sizeof(void *));
+uint32_t Relation::distinctKeys(std::span<const uint32_t> Columns) const {
+  const Index *Found = findIndex(Columns);
+  return Found ? static_cast<uint32_t>(Found->Postings.size()) : 0;
+}
+
+std::vector<Relation::IndexStats> Relation::indexStats() const {
+  std::vector<IndexStats> Stats;
+  Stats.reserve(Indexes.size());
+  for (const auto &Idx : Indexes) {
+    IndexStats &S = Stats.emplace_back();
+    S.Columns = Idx->Columns;
+    S.DistinctKeys = static_cast<uint32_t>(Idx->Postings.size());
+    S.Bytes = sizeof(Index) + Idx->Columns.capacity() * sizeof(uint32_t) +
+              Idx->Postings.bucket_count() * sizeof(void *);
+    for (const auto &[Hash, Postings] : Idx->Postings)
+      S.Bytes += sizeof(Hash) + Postings.capacity() * sizeof(uint32_t);
+  }
+  return Stats;
+}
+
+size_t Relation::indexBytes() const {
+  size_t Total = 0;
   for (const auto &Idx : Indexes) {
     Total += sizeof(Index) + Idx->Columns.capacity() * sizeof(uint32_t) +
              Idx->Postings.bucket_count() * sizeof(void *);
@@ -142,6 +160,12 @@ size_t Relation::bytes() const {
       Total += sizeof(Hash) + Postings.capacity() * sizeof(uint32_t);
   }
   return Total;
+}
+
+size_t Relation::bytes() const {
+  return Data.capacity() * sizeof(Symbol) +
+         Dedup.bucket_count() * sizeof(void *) +
+         Dedup.size() * (sizeof(uint32_t) + sizeof(void *)) + indexBytes();
 }
 
 RelationId Database::declare(std::string_view Name, uint32_t Arity) {

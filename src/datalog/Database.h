@@ -101,9 +101,29 @@ public:
   lookupPrebuilt(std::span<const uint32_t> Columns,
                  std::span<const Symbol> Key) const;
 
+  /// Exact distinct-key count of the index over \p Columns (its postings
+  /// group count), or 0 when no such index has been built. The join
+  /// planner's cost model uses this to sharpen `size / distinct-keys`
+  /// fanout estimates; 0 tells it to fall back to a selectivity heuristic.
+  uint32_t distinctKeys(std::span<const uint32_t> Columns) const;
+
+  /// Per-index statistics snapshot, for metrics and planner introspection.
+  struct IndexStats {
+    std::vector<uint32_t> Columns; ///< indexed column positions
+    uint32_t DistinctKeys = 0;     ///< postings groups
+    size_t Bytes = 0;              ///< heap bytes of this index
+  };
+  std::vector<IndexStats> indexStats() const;
+
+  /// Approximate heap bytes of every built index (columns + postings).
+  /// Grows as the planner's chosen orders demand new column sets — tracked
+  /// separately so `observed.db.index_bytes` attributes planner-driven
+  /// memory, but also included in `bytes()`.
+  size_t indexBytes() const;
+
   /// Approximate heap bytes of this relation: tuple store capacity, dedup
-  /// table, and every index's postings lists. Feeds the metrics registry
-  /// (`db.relation_bytes`).
+  /// table, and every index's postings lists (`indexBytes()`). Feeds the
+  /// metrics registry (`db.relation_bytes`).
   size_t bytes() const;
 
 private:
@@ -186,6 +206,15 @@ public:
     size_t Total = 0;
     for (const auto &R : Relations)
       Total += R->bytes();
+    return Total;
+  }
+
+  /// Approximate heap bytes across all relations' column indexes (see
+  /// `Relation::indexBytes`). Subset of `bytes()`.
+  size_t indexBytes() const {
+    size_t Total = 0;
+    for (const auto &R : Relations)
+      Total += R->indexBytes();
     return Total;
   }
 

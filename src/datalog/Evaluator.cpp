@@ -11,7 +11,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <functional>
 #include <thread>
 
 using namespace jackee;
@@ -140,15 +139,18 @@ unsigned Evaluator::defaultThreadCount() {
   return HW == 0 ? 1 : std::min(HW, 256u);
 }
 
-Evaluator::Evaluator(Database &DB, const RuleSet &Rules, unsigned Threads)
+Evaluator::Evaluator(Database &DB, const RuleSet &Rules, unsigned Threads,
+                     PlanMode Plan)
     : DB(DB), Rules(Rules),
-      Threads(Threads == 0 ? defaultThreadCount() : std::min(Threads, 256u)) {
+      Threads(Threads == 0 ? defaultThreadCount() : std::min(Threads, 256u)),
+      Planning(resolvePlanMode(Plan)) {
   stratify();
   EvalStats.Threads = this->Threads;
   if (this->Threads > 1) {
     Pool = std::make_unique<WorkerPool>(this->Threads);
     Staging.resize(this->Threads);
   }
+  Scratch.resize(this->Threads > 1 ? this->Threads : 1);
 }
 
 Evaluator::~Evaluator() = default;
@@ -235,10 +237,27 @@ void Evaluator::run() {
 void Evaluator::appendPassTasks(std::vector<Task> &Tasks,
                                 std::vector<JoinPlan> &Plans,
                                 uint32_t RuleIdx, int DeltaAtom,
-                                uint32_t DriveFrom, uint32_t DriveTo) {
+                                uint32_t DeltaFrom, uint32_t DeltaTo,
+                                const std::vector<uint32_t> &Sizes) {
   const Rule &R = Rules.rules()[RuleIdx];
+  // A pass that cannot match emits no tasks at all: an empty delta range,
+  // or any positive atom whose snapshot is empty, makes the join empty by
+  // construction. The criterion looks only at the body and the snapshot —
+  // never at the chosen plan — so the pass set (and with it the
+  // RuleEvaluations counters and the "passes" arg of trace round spans) is
+  // identical for every plan mode and thread count. This also fixes the
+  // historical chunking do/while, which emitted one no-op task for an
+  // empty drive range and inflated pass counts.
+  if (DeltaAtom >= 0 && DeltaFrom == DeltaTo)
+    return;
+  for (const Atom &A : R.Body)
+    if (!A.Negated && Sizes[A.Rel.index()] == 0)
+      return;
+
   uint32_t PlanIdx = static_cast<uint32_t>(Plans.size());
-  Plans.push_back(makeJoinPlan(R, DeltaAtom));
+  Plans.push_back(makeJoinPlan(
+      R, DeltaAtom,
+      {Planning, std::span<const uint32_t>(Sizes.data(), Sizes.size()), &DB}));
   const JoinPlan &Plan = Plans.back();
 
   if (Plan.PositiveOrder.empty()) {
@@ -246,6 +265,15 @@ void Evaluator::appendPassTasks(std::vector<Task> &Tasks,
     Tasks.push_back({RuleIdx, DeltaAtom, PlanIdx, 0, 0, /*HasDrive=*/false,
                      /*FirstChunk=*/true});
     return;
+  }
+
+  // The plan's first atom drives: the delta chunk for a delta pass, the
+  // full snapshot for a seed pass. Nonempty by the guards above.
+  uint32_t DriveFrom = 0;
+  uint32_t DriveTo = Sizes[R.Body[Plan.PositiveOrder[0]].Rel.index()];
+  if (DeltaAtom >= 0) {
+    DriveFrom = DeltaFrom;
+    DriveTo = DeltaTo;
   }
 
   uint32_t Range = DriveTo - DriveFrom;
@@ -258,15 +286,12 @@ void Evaluator::appendPassTasks(std::vector<Task> &Tasks,
     ChunkSize = std::max<uint32_t>(64, (Range + Threads * 4 - 1) /
                                            (Threads * 4));
   bool First = true;
-  uint32_t From = DriveFrom;
-  do {
-    uint32_t To = Range == 0 ? DriveTo
-                             : std::min(DriveTo, From + ChunkSize);
-    Tasks.push_back({RuleIdx, DeltaAtom, PlanIdx, From, To, /*HasDrive=*/true,
+  for (uint32_t From = DriveFrom; From < DriveTo; From += ChunkSize) {
+    Tasks.push_back({RuleIdx, DeltaAtom, PlanIdx, From,
+                     std::min(DriveTo, From + ChunkSize), /*HasDrive=*/true,
                      First});
     First = false;
-    From = To;
-  } while (From < DriveTo);
+  }
 }
 
 void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
@@ -282,20 +307,29 @@ void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
   std::vector<Task> Tasks;
   std::vector<JoinPlan> Plans;
 
-  // Naive seed round: everything currently present participates; the first
-  // positive atom of each rule drives.
+  // Per-round planner telemetry: how far the chosen orders and guard slots
+  // moved off textual baseline, and what fanout the cost model predicted.
+  auto recordPlanMetrics = [&]() {
+    if (!Registry || Plans.empty())
+      return;
+    double Reorder = 0, Hoist = 0, Estimated = 0;
+    for (const JoinPlan &P : Plans) {
+      Reorder += P.ReorderDistance;
+      Hoist += P.GuardHoistDepth;
+      Estimated += P.EstimatedFanout;
+    }
+    Registry->observe("datalog.plan.reorder_distance", Reorder);
+    Registry->observe("datalog.plan.guard_hoist_depth", Hoist);
+    Registry->observe("datalog.plan.estimated_fanout", Estimated);
+  };
+
+  // Naive seed round: everything currently present participates; the plan's
+  // first positive atom drives (plans are built per round against the live
+  // snapshot sizes, so the planner sees current cardinalities).
   snapshotSizes(Limit);
   std::vector<uint32_t> SeedStart = Limit;
-  for (uint32_t RuleIdx : S.RuleIndexes) {
-    const Rule &R = Rules.rules()[RuleIdx];
-    uint32_t DriveTo = 0;
-    for (const Atom &A : R.Body)
-      if (!A.Negated) {
-        DriveTo = Limit[A.Rel.index()];
-        break;
-      }
-    appendPassTasks(Tasks, Plans, RuleIdx, /*DeltaAtom=*/-1, 0, DriveTo);
-  }
+  for (uint32_t RuleIdx : S.RuleIndexes)
+    appendPassTasks(Tasks, Plans, RuleIdx, /*DeltaAtom=*/-1, 0, 0, Limit);
   ++SS.Rounds;
   {
     observe::Span RoundSpan(Trace, "round", "datalog");
@@ -304,6 +338,7 @@ void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
     uint64_t TuplesBefore = SS.TuplesDerived;
     uint64_t PassesBefore = SS.RuleEvaluations;
     executeRound(S, Tasks, Plans, Limit, SS);
+    recordPlanMetrics();
     RoundSpan.arg("passes", SS.RuleEvaluations - PassesBefore);
     RoundSpan.arg("tuples", SS.TuplesDerived - TuplesBefore);
     if (Registry)
@@ -335,7 +370,8 @@ void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
         if (DeltaBegin[A.Rel.index()] == DeltaEnd[A.Rel.index()])
           continue;
         appendPassTasks(Tasks, Plans, RuleIdx, AtomIdx,
-                        DeltaBegin[A.Rel.index()], DeltaEnd[A.Rel.index()]);
+                        DeltaBegin[A.Rel.index()], DeltaEnd[A.Rel.index()],
+                        Limit);
       }
     }
     ++SS.Rounds;
@@ -346,6 +382,7 @@ void Evaluator::runStratum(const Stratum &S, StratumStats &SS) {
       uint64_t TuplesBefore = SS.TuplesDerived;
       uint64_t PassesBefore = SS.RuleEvaluations;
       executeRound(S, Tasks, Plans, Limit, SS);
+      recordPlanMetrics();
       RoundSpan.arg("passes", SS.RuleEvaluations - PassesBefore);
       RoundSpan.arg("tuples", SS.TuplesDerived - TuplesBefore);
       if (Registry)
@@ -372,6 +409,22 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
   EvalStats.RuleEvaluations += Passes;
   SS.RuleEvaluations += Passes;
 
+  // Harvest the per-worker full-match counters into the registry at the
+  // round barrier. The total is the ground truth the planner's
+  // estimated_fanout histogram is compared against; it is plan- and
+  // thread-invariant (a match is a binding satisfying every atom and guard
+  // over the round's snapshot, independent of enumeration order).
+  auto recordMatches = [&]() {
+    uint64_t Matches = 0;
+    for (size_t W = 0; W != Scratch.size(); ++W) {
+      Matches += Scratch[W].Matches;
+      Scratch[W].Matches = 0;
+    }
+    if (Registry)
+      Registry->observe("datalog.plan.actual_matches",
+                        static_cast<double>(Matches));
+  };
+
   if (Threads == 1) {
     // Sequential engine: direct inserts, lazily built indexes — the exact
     // pre-parallelization behavior.
@@ -379,8 +432,9 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
     for (const Task &T : Tasks)
       evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
                    T.DriveTo, T.HasDrive, Limit,
-                   /*Staging=*/nullptr);
+                   /*Staging=*/nullptr, Scratch[0]);
     SS.TuplesDerived += EvalStats.TuplesDerived - Before;
+    recordMatches();
     return;
   }
 
@@ -415,9 +469,11 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
         [&](uint32_t TaskIdx, unsigned Worker) {
           const Task &T = Tasks[TaskIdx];
           evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
-                       T.DriveTo, T.HasDrive, Limit, &Staging[Worker]);
+                       T.DriveTo, T.HasDrive, Limit, &Staging[Worker],
+                       Scratch[Worker]);
         });
   }
+  recordMatches();
   SS.WorkerBusySeconds += Busy;
   if (Registry) {
     double BatchWall = std::chrono::duration<double>(
@@ -535,67 +591,75 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
                              int DeltaAtom, uint32_t DriveFrom,
                              uint32_t DriveTo, bool HasDrive,
                              const std::vector<uint32_t> &Limit,
-                             StagingArena *Staging) {
+                             StagingArena *Staging, JoinScratch &S) {
   const Rule &R = Rules.rules()[RuleIdx];
-  std::vector<Symbol> Bindings(R.VariableCount);
-  std::vector<bool> Bound(R.VariableCount, false);
+  // All join state lives in the worker's scratch slot; buffers only grow,
+  // so steady-state passes allocate nothing inside the join loops.
+  if (S.Bindings.size() < R.VariableCount) {
+    S.Bindings.resize(R.VariableCount);
+    S.BoundFlags.resize(R.VariableCount);
+  }
+  std::fill(S.BoundFlags.begin(), S.BoundFlags.begin() + R.VariableCount, 0);
+  S.Trail.clear();
+  if (Observer && S.MatchIdx.size() < R.Body.size())
+    S.MatchIdx.resize(R.Body.size());
 
-  // Provenance scratch (observer mode only): the tuple index each body atom
-  // is currently matched against, and the witness refs of the match being
-  // emitted — positive atoms in *body* order, so every join plan of the
-  // same rule reports the same ref sequence.
-  std::vector<uint32_t> MatchIdx(Observer ? R.Body.size() : 0);
-  std::vector<uint32_t> RefsScratch;
-  auto gatherRefs = [&]() -> std::span<const uint32_t> {
-    RefsScratch.clear();
-    for (size_t I = 0; I != R.Body.size(); ++I)
-      if (!R.Body[I].Negated)
-        RefsScratch.push_back(MatchIdx[I]);
-    return RefsScratch;
+  auto valueOf = [&](const Term &T) {
+    return T.isConstant() ? T.Value : S.Bindings[T.VarIndex];
   };
 
-  auto checkConstraintsAndNegation = [&]() -> bool {
-    auto valueOf = [&](const Term &T) {
-      return T.isConstant() ? T.Value : Bindings[T.VarIndex];
-    };
-    for (const Constraint &C : R.Constraints) {
+  // Guards assigned to plan slot `K` (see JoinPlan): constraints first,
+  // then negation probes, both in rule order — the same order the
+  // historical post-join check used, just potentially earlier.
+  auto passesGuards = [&](size_t K) -> bool {
+    for (uint32_t CI : Plan.ConstraintsAt[K]) {
+      const Constraint &C = R.Constraints[CI];
       bool Equal = valueOf(C.Lhs) == valueOf(C.Rhs);
       if (C.CompareKind == Constraint::Kind::Equal ? !Equal : Equal)
         return false;
     }
-    std::vector<Symbol> Tuple;
-    for (const Atom &A : R.Body) {
-      if (!A.Negated)
-        continue;
-      Tuple.clear();
+    for (uint32_t AtomIdx : Plan.NegationsAt[K]) {
+      const Atom &A = R.Body[AtomIdx];
+      S.Tuple.clear();
       for (const Term &T : A.Terms)
-        Tuple.push_back(valueOf(T));
-      if (DB.relation(A.Rel).contains(Tuple))
+        S.Tuple.push_back(valueOf(T));
+      if (DB.relation(A.Rel).contains(S.Tuple))
         return false;
     }
     return true;
   };
 
+  // Provenance scratch (observer mode only): the tuple index each body atom
+  // is currently matched against, and the witness refs of the match being
+  // emitted — positive atoms in *body* order, so every join plan of the
+  // same rule reports the same ref sequence.
+  auto gatherRefs = [&]() -> std::span<const uint32_t> {
+    S.Refs.clear();
+    for (size_t I = 0; I != R.Body.size(); ++I)
+      if (!R.Body[I].Negated)
+        S.Refs.push_back(S.MatchIdx[I]);
+    return S.Refs;
+  };
+
   auto emitHead = [&]() {
-    std::vector<Symbol> Tuple;
-    Tuple.reserve(R.Head.Terms.size());
+    S.Tuple.clear();
     for (const Term &T : R.Head.Terms)
-      Tuple.push_back(T.isConstant() ? T.Value : Bindings[T.VarIndex]);
+      S.Tuple.push_back(valueOf(T));
     if (Staging) {
       // Parallel mode: stage for the barrier merge. Duplicates (within the
       // round or against existing tuples) are eliminated there; skipping
       // already-present tuples here just keeps the buffers small — the head
       // relation is frozen during the round, so `contains` is a safe
       // concurrent read.
-      if (!DB.relation(R.Head.Rel).contains(Tuple)) {
-        Staging->emit(R.Head.Rel.index(), Tuple);
+      if (!DB.relation(R.Head.Rel).contains(S.Tuple)) {
+        Staging->emit(R.Head.Rel.index(), S.Tuple);
         if (Observer)
           Staging->emitProv(R.Head.Rel.index(), RuleIdx, gatherRefs());
       }
       return;
     }
     Relation &Head = DB.relation(R.Head.Rel);
-    if (Head.insert(Tuple)) {
+    if (Head.insert(S.Tuple)) {
       ++EvalStats.TuplesDerived;
       if (Observer)
         Observer->onDerivation(R.Head.Rel.index(), Head.size() - 1, RuleIdx,
@@ -605,7 +669,7 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
       // *this* round (index at or past the round-barrier snapshot) — the
       // observer keeps the least candidate, making the recorded derivation
       // independent of rule execution order.
-      uint32_t Existing = Head.find(Tuple);
+      uint32_t Existing = Head.find(S.Tuple);
       if (Existing != Relation::NoTuple &&
           Existing >= Limit[R.Head.Rel.index()])
         Observer->onDerivation(R.Head.Rel.index(), Existing, RuleIdx,
@@ -613,11 +677,18 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
     }
   };
 
-  // Recursive nested-loop join over the plan's positive-atom order.
-  std::function<void(size_t)> match = [&](size_t Pos) {
+  // Slot-0 guards need no bindings (constants only — and, on fact rules,
+  // every guard): failing here prunes the whole pass.
+  if (!passesGuards(0))
+    return;
+
+  // Recursive nested-loop join over the plan's positive-atom order, as a
+  // self-passed generic lambda (no std::function allocation per pass).
+  auto match = [&](auto &&Self, size_t Pos) -> void {
     if (Pos == Plan.PositiveOrder.size()) {
-      if (checkConstraintsAndNegation())
-        emitHead();
+      // Every atom matched and every guard slot passed on the way down.
+      ++S.Matches;
+      emitHead();
       return;
     }
 
@@ -638,58 +709,69 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
     // Columns already determined by constants or previously bound variables
     // (static per plan position).
     const std::vector<uint32_t> &BoundCols = Plan.BoundColumns[Pos];
-    std::vector<Symbol> BoundKey;
-    BoundKey.reserve(BoundCols.size());
-    for (uint32_t Col : BoundCols) {
-      const Term &T = A.Terms[Col];
-      BoundKey.push_back(T.isConstant() ? T.Value : Bindings[T.VarIndex]);
-    }
 
-    // Tries one candidate tuple: verify columns, bind free variables,
-    // recurse, then unbind.
+    // Tries one candidate tuple: verify columns, bind free variables on the
+    // trail, check this position's guards, recurse, then unwind the trail.
     auto tryTuple = [&](uint32_t TupleIdx) {
       const Symbol *Tuple = Rel.tuple(TupleIdx);
-      std::vector<uint32_t> NewlyBound;
+      size_t Mark = S.Trail.size();
       bool Ok = true;
       for (uint32_t Col = 0; Col != A.Terms.size() && Ok; ++Col) {
         const Term &T = A.Terms[Col];
         if (T.isConstant()) {
           Ok = Tuple[Col] == T.Value;
-        } else if (Bound[T.VarIndex]) {
-          Ok = Tuple[Col] == Bindings[T.VarIndex];
+        } else if (S.BoundFlags[T.VarIndex]) {
+          Ok = Tuple[Col] == S.Bindings[T.VarIndex];
         } else {
-          Bindings[T.VarIndex] = Tuple[Col];
-          Bound[T.VarIndex] = true;
-          NewlyBound.push_back(T.VarIndex);
+          S.Bindings[T.VarIndex] = Tuple[Col];
+          S.BoundFlags[T.VarIndex] = 1;
+          S.Trail.push_back(T.VarIndex);
         }
       }
-      if (Ok) {
+      if (Ok && passesGuards(Pos + 1)) {
         if (Observer)
-          MatchIdx[AtomIdx] = TupleIdx;
-        match(Pos + 1);
+          S.MatchIdx[AtomIdx] = TupleIdx;
+        Self(Self, Pos + 1);
       }
-      for (uint32_t Var : NewlyBound)
-        Bound[Var] = false;
+      while (S.Trail.size() > Mark) {
+        S.BoundFlags[S.Trail.back()] = 0;
+        S.Trail.pop_back();
+      }
     };
 
     // Index lookup when useful; deltas are small, so scan those directly.
     bool IsDeltaPos = Pos == 0 && DeltaAtom >= 0;
     if (!BoundCols.empty() && !IsDeltaPos) {
+      S.Key.clear();
+      for (uint32_t Col : BoundCols) {
+        const Term &T = A.Terms[Col];
+        S.Key.push_back(T.isConstant() ? T.Value : S.Bindings[T.VarIndex]);
+      }
       const std::vector<uint32_t> *Postings;
       if (Staging) {
         // Parallel mode: read-only lookup against the prebuilt index; a
         // missing index (defensive — executeRound prebuilds all of them)
         // falls back to the scan below.
-        Postings = Rel.lookupPrebuilt(BoundCols, BoundKey);
+        Postings = Rel.lookupPrebuilt(BoundCols, S.Key);
       } else {
-        Postings = &Rel.lookup(BoundCols, BoundKey);
+        Postings = &Rel.lookup(BoundCols, S.Key);
       }
       if (Postings) {
-        auto Begin = std::lower_bound(Postings->begin(), Postings->end(),
-                                      From);
-        auto End = std::lower_bound(Postings->begin(), Postings->end(), To);
-        for (auto It = Begin; It != End; ++It)
-          tryTuple(*It);
+        // Walk the postings by position, not iterator: in sequential mode a
+        // recursive rule can insert into the very postings list being
+        // walked (head relation == this indexed body relation, equal key),
+        // and push_back may reallocate the buffer under an iterator.
+        // Entries below the precomputed end never move — postings are
+        // appended in ascending dense order and tuples inserted mid-round
+        // sit at or past `Limit`, beyond the `To` bound.
+        size_t PBegin = static_cast<size_t>(
+            std::lower_bound(Postings->begin(), Postings->end(), From) -
+            Postings->begin());
+        size_t PEnd = static_cast<size_t>(
+            std::lower_bound(Postings->begin(), Postings->end(), To) -
+            Postings->begin());
+        for (size_t K = PBegin; K != PEnd; ++K)
+          tryTuple((*Postings)[K]);
         return;
       }
     }
@@ -697,5 +779,5 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
       tryTuple(TupleIdx);
   };
 
-  match(0);
+  match(match, 0);
 }

@@ -121,7 +121,14 @@ public:
   /// environment variable, falling back to `hardware_concurrency`; 1 runs
   /// the exact sequential engine (no pool, direct inserts); N > 1 spawns a
   /// pool of N workers.
-  Evaluator(Database &DB, const RuleSet &Rules, unsigned Threads = 0);
+  ///
+  /// \p Plan selects how rule bodies are join-ordered (see `PlanMode`);
+  /// `Auto` resolves the `JACKEE_PLAN` environment variable, defaulting to
+  /// the greedy cost-guided planner. Relation contents, provenance, and the
+  /// deterministic trace structure are identical in every mode — the plan
+  /// only changes how fast the fixpoint is reached.
+  Evaluator(Database &DB, const RuleSet &Rules, unsigned Threads = 0,
+            PlanMode Plan = PlanMode::Auto);
   ~Evaluator();
 
   /// Checks stratifiability. \returns empty string if OK, else a diagnostic
@@ -155,13 +162,21 @@ public:
 
   /// Attaches \p R as the metrics registry (nullptr detaches). The engine
   /// records round delta sizes (`datalog.round_delta_tuples`), summed
-  /// worker idle time (`datalog.worker_idle_seconds`), and retained
-  /// staging-arena bytes (`datalog.staging_bytes`).
+  /// worker idle time (`datalog.worker_idle_seconds`), retained
+  /// staging-arena bytes (`datalog.staging_bytes`), and per-round join
+  /// planner histograms: `datalog.plan.reorder_distance` and
+  /// `datalog.plan.guard_hoist_depth` (how far the planner moved atoms and
+  /// guards off textual order), `datalog.plan.estimated_fanout` (the cost
+  /// model's prediction), and `datalog.plan.actual_matches` (full join
+  /// matches — plan- and thread-invariant, the estimate's ground truth).
   void setMetricsRegistry(observe::MetricsRegistry *R) { Registry = R; }
   observe::MetricsRegistry *metricsRegistry() const { return Registry; }
 
   /// The resolved worker count (after env var / hardware defaulting).
   unsigned threadCount() const { return Threads; }
+
+  /// The resolved join-plan mode (never `Auto`).
+  PlanMode planMode() const { return Planning; }
 
   /// The thread count a `Threads == 0` evaluator resolves to:
   /// `JACKEE_THREADS` if set to a positive integer, else
@@ -187,14 +202,37 @@ private:
     bool FirstChunk;      ///< counts toward RuleEvaluations
   };
 
+  /// Per-worker join scratch, reused across `evaluateRule` calls so the
+  /// innermost join loops never allocate once the buffers reach
+  /// steady-state size (they are only ever grown, never shrunk).
+  struct JoinScratch {
+    std::vector<Symbol> Bindings;   ///< variable values, by VarIndex
+    std::vector<char> BoundFlags;   ///< 1 if the variable is bound
+    std::vector<uint32_t> Trail;    ///< bound-variable undo stack
+    std::vector<Symbol> Key;        ///< bound-column lookup key
+    std::vector<Symbol> Tuple;      ///< negation-probe / head-emit tuple
+    std::vector<uint32_t> MatchIdx; ///< observer mode: match per body atom
+    std::vector<uint32_t> Refs;     ///< observer mode: witness refs
+    uint64_t Matches = 0; ///< full join matches (guards passed) this round
+  };
+
   void stratify();
   void runStratum(const Stratum &S, StratumStats &SS);
 
-  /// Appends tasks for one (rule, delta) pass to \p Tasks, chunking the
-  /// drive range across workers in parallel mode.
+  /// Appends tasks for one (rule, delta) pass to \p Tasks, planning it
+  /// against \p Sizes (the round's snapshot, by relation id) and chunking
+  /// the drive range across workers in parallel mode. A pass that cannot
+  /// match — empty delta range, or any positive atom with an empty snapshot
+  /// — is skipped entirely, before planning, so the emitted pass set (and
+  /// with it `RuleEvaluations` and the trace round args) is identical for
+  /// every plan mode and thread count. For a seed pass (\p DeltaAtom < 0)
+  /// the drive range is `[0, Sizes[drive atom's relation])` with the drive
+  /// atom chosen by the plan; \p DeltaFrom/\p DeltaTo are the delta range
+  /// otherwise.
   void appendPassTasks(std::vector<Task> &Tasks,
                        std::vector<JoinPlan> &Plans, uint32_t RuleIdx,
-                       int DeltaAtom, uint32_t DriveFrom, uint32_t DriveTo);
+                       int DeltaAtom, uint32_t DeltaFrom, uint32_t DeltaTo,
+                       const std::vector<uint32_t> &Sizes);
 
   /// Executes one round's task batch: sequentially with direct inserts when
   /// `Threads == 1`, else on the pool with staged emission and a
@@ -216,10 +254,11 @@ private:
   /// (sequential mode); otherwise they are appended to \p Staging and no
   /// relation is mutated (parallel mode — lookups use prebuilt indexes).
   /// \p RuleIdx is R's index in the rule set, used only for provenance.
+  /// \p S is the calling worker's scratch slot.
   void evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan, int DeltaAtom,
                     uint32_t DriveFrom, uint32_t DriveTo, bool HasDrive,
-                    const std::vector<uint32_t> &Limit,
-                    StagingArena *Staging);
+                    const std::vector<uint32_t> &Limit, StagingArena *Staging,
+                    JoinScratch &S);
 
   Database &DB;
   const RuleSet &Rules;
@@ -228,8 +267,11 @@ private:
   Stats EvalStats;
 
   unsigned Threads;
+  PlanMode Planning;                     ///< resolved, never Auto
   std::unique_ptr<WorkerPool> Pool;      ///< created when Threads > 1
   PerWorker<StagingArena> Staging;       ///< one arena per worker
+  PerWorker<JoinScratch> Scratch;        ///< join scratch (slot 0 when
+                                         ///< sequential)
 
   DerivationObserver *Observer = nullptr;
   observe::Tracer *Trace = nullptr;

@@ -18,7 +18,9 @@
 
 #include "datalog/Database.h"
 
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace jackee {
@@ -78,6 +80,43 @@ struct Rule {
   std::string Origin;
 };
 
+/// How `makeJoinPlan` orders a rule's positive body atoms.
+enum class PlanMode : uint8_t {
+  /// Resolve the `JACKEE_PLAN` environment variable ("textual"/"greedy"),
+  /// defaulting to `Greedy`.
+  Auto,
+  /// Textual body order (delta atom pinned first), constraints and negated
+  /// atoms checked only after the full join — the engine's historical
+  /// behavior, kept as the A/B baseline.
+  Textual,
+  /// Greedy cost-guided ordering with guard hoisting (see `makeJoinPlan`).
+  Greedy,
+};
+
+/// Resolves \p Requested: `Auto` consults `JACKEE_PLAN`, anything else is
+/// returned unchanged. Never returns `Auto`.
+PlanMode resolvePlanMode(PlanMode Requested);
+
+/// Parses "textual"/"greedy" into \p Out. \returns false on anything else.
+bool parsePlanMode(std::string_view Text, PlanMode &Out);
+
+/// Stable display name ("auto", "textual", "greedy").
+const char *planModeName(PlanMode Mode);
+
+/// Inputs the planner costs candidate orders with. All fields are optional:
+/// a default-constructed context plans in textual mode with no statistics,
+/// which is exactly the historical `makeJoinPlan` behavior.
+struct PlanContext {
+  PlanMode Mode = PlanMode::Textual;
+  /// Live tuple count per relation id at plan time (the semi-naive round's
+  /// snapshot). Relations past the end estimate via \p Stats or as empty.
+  std::span<const uint32_t> RelationSizes;
+  /// Optional index statistics source: when a relation already has an index
+  /// over a candidate's bound columns, its exact distinct-key count sharpens
+  /// the fanout estimate.
+  const Database *Stats = nullptr;
+};
+
 /// The static join plan for one (rule, delta-atom) evaluation pass.
 ///
 /// Semi-naive evaluation visits positive body atoms in a fixed order (the
@@ -88,17 +127,55 @@ struct Rule {
 /// evaluator (a) skip per-tuple rediscovery and (b) build every column
 /// index a pass will need *before* fanning the pass out across workers, so
 /// the parallel join phase reads relations without mutating them.
+///
+/// Constraints and negated atoms are *guards*: pure checks over bound
+/// variables. The plan assigns each guard to a slot `k` in
+/// `[0, PositiveOrder.size()]` — slot 0 runs before any atom is matched
+/// (constant-only guards, and everything on fact rules), slot `k > 0` runs
+/// as soon as the first `k` plan atoms are matched. Guard placement never
+/// changes results: constraints are pure, and a negated relation cannot
+/// grow while its consumers' stratum runs (stratification), so a guard
+/// evaluates identically at any slot where its variables are bound.
 struct JoinPlan {
   /// Body indexes of positive atoms in visit order (delta atom first).
   std::vector<uint32_t> PositiveOrder;
   /// For each position in `PositiveOrder`: the strictly increasing column
   /// positions bound by constants or earlier-bound variables.
   std::vector<std::vector<uint32_t>> BoundColumns;
+  /// Guard slots, both sized `PositiveOrder.size() + 1`. `ConstraintsAt[k]`
+  /// holds indexes into `Rule::Constraints`, `NegationsAt[k]` body indexes
+  /// of negated atoms. Textual plans keep every guard in the last slot.
+  std::vector<std::vector<uint32_t>> ConstraintsAt;
+  std::vector<std::vector<uint32_t>> NegationsAt;
+
+  // Planner observability, aggregated into the metrics registry per round.
+  /// Sum over atoms of |plan position - textual position|.
+  uint32_t ReorderDistance = 0;
+  /// Sum over guards of (last slot - assigned slot): how much earlier than
+  /// the historical check point each guard runs.
+  uint32_t GuardHoistDepth = 0;
+  /// Product over plan positions of the per-atom fanout estimate the cost
+  /// model predicts for the chosen order (0 when any atom is empty).
+  double EstimatedFanout = 0;
 };
 
 /// Computes the join plan for evaluating \p R with \p DeltaAtom as the
 /// delta-restricted body atom (-1 for a full/naive pass).
-JoinPlan makeJoinPlan(const Rule &R, int DeltaAtom);
+///
+/// In `Greedy` mode the delta atom stays pinned at position 0 (the delta is
+/// usually the smallest input and semi-naive correctness wants it driving);
+/// the remaining positive atoms are picked one at a time, each step taking
+/// the atom with the smallest estimated fanout under the already-bound
+/// variables, breaking ties toward textual order. The estimate for an atom
+/// with `N` live tuples and `B` of `A` columns bound is `N / distinct-keys`
+/// when \p Ctx.Stats has an index over exactly those columns, else the
+/// `N^(1 - B/A)` uniform-selectivity heuristic (1 when fully bound, `N`
+/// when unbound). Guards are hoisted to the earliest slot where their
+/// variables are bound. `Textual` mode reproduces the historical plan
+/// (body order, guards last) so the two modes can be A/B-compared; results
+/// are bit-identical either way.
+JoinPlan makeJoinPlan(const Rule &R, int DeltaAtom,
+                      const PlanContext &Ctx = {});
 
 /// A validated collection of rules over one database's relation schema.
 class RuleSet {

@@ -20,9 +20,10 @@ using jackee::datalog::RelationId;
 
 FrameworkManager::FrameworkManager(Program &P, datalog::Database &DB,
                                    MockPolicyOptions Options,
-                                   unsigned DatalogThreads)
+                                   unsigned DatalogThreads,
+                                   datalog::PlanMode Plan)
     : P(P), DB(DB), Options(Options), DatalogThreads(DatalogThreads),
-      Facts(DB) {
+      Plan(Plan), Facts(DB) {
   std::string Err = addRules("vocabulary.dl", VOCABULARY);
   assert(Err.empty() && "vocabulary must parse");
   (void)Err;
@@ -76,7 +77,8 @@ std::string FrameworkManager::prepare() {
     XmlSpan.arg("file", FileName);
     Facts.extractXml(Doc, FileName);
   }
-  Eval = std::make_unique<datalog::Evaluator>(DB, Rules, DatalogThreads);
+  Eval = std::make_unique<datalog::Evaluator>(DB, Rules, DatalogThreads,
+                                              Plan);
   if (std::string Err = Eval->validate(); !Err.empty())
     return Err;
   Eval->setObserver(Provenance);

@@ -60,10 +60,12 @@ public:
   /// \p P is mutated (synthetic bean/mock objects are added). \p DB must
   /// share P's symbol table. \p DatalogThreads is forwarded to the Datalog
   /// evaluator (0 = `JACKEE_THREADS` env var / hardware concurrency, 1 =
-  /// sequential).
+  /// sequential), as is \p Plan (`Auto` = `JACKEE_PLAN` env var / greedy
+  /// cost-guided join ordering — see `datalog::PlanMode`).
   FrameworkManager(ir::Program &P, datalog::Database &DB,
                    MockPolicyOptions Options = {},
-                   unsigned DatalogThreads = 0);
+                   unsigned DatalogThreads = 0,
+                   datalog::PlanMode Plan = datalog::PlanMode::Auto);
 
   /// Registers framework-model rule text. \returns an empty string on
   /// success, else the parse diagnostic. The vocabulary is pre-registered.
@@ -163,6 +165,7 @@ private:
   datalog::Database &DB;
   MockPolicyOptions Options;
   unsigned DatalogThreads;
+  datalog::PlanMode Plan;
   datalog::RuleSet Rules;
   std::unique_ptr<datalog::Evaluator> Eval;
   facts::Extractor Facts;

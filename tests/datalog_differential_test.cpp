@@ -263,17 +263,20 @@ TEST_P(DifferentialTest, EngineMatchesNaiveReference) {
   NaiveEvaluator Reference(DB, Rules);
   Reference.run();
 
-  // Randomize the worker count per seed so the differential oracle also
-  // exercises the parallel staging/merge path, not just the sequential one.
+  // Randomize the worker count and join-plan mode per seed so the
+  // differential oracle also exercises the parallel staging/merge path and
+  // both planner modes, not just the sequential/textual defaults.
   unsigned Threads = 1 + Rng() % 4;
-  Evaluator Engine(DB, Rules, Threads);
+  PlanMode Plan = Rng() % 2 ? PlanMode::Greedy : PlanMode::Textual;
+  Evaluator Engine(DB, Rules, Threads, Plan);
   ASSERT_EQ(Engine.validate(), "");
   Engine.run();
 
   for (uint32_t Rel = 0; Rel != DB.relationCount(); ++Rel)
     EXPECT_EQ(engineContents(DB, Rel), Reference.contents(Rel))
         << "relation " << DB.relation(RelationId(Rel)).name() << " (seed "
-        << GetParam() << ", threads " << Threads << ")";
+        << GetParam() << ", threads " << Threads << ", plan "
+        << planModeName(Plan) << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,

@@ -55,18 +55,19 @@ std::vector<Contents> allContents(const Database &DB) {
 }
 
 /// Builds a program via the parser and loads facts, then evaluates with
-/// \p Threads workers and returns all relation contents.
+/// \p Threads workers under \p Plan and returns all relation contents.
 std::vector<Contents>
 evaluateWith(unsigned Threads, const char *RuleText,
              const std::function<void(Database &)> &LoadFacts,
-             Evaluator::Stats *StatsOut = nullptr) {
+             Evaluator::Stats *StatsOut = nullptr,
+             PlanMode Plan = PlanMode::Auto) {
   SymbolTable Symbols;
   Database DB(Symbols);
   RuleSet Rules;
   ParserResult PR = parseRules(DB, Rules, RuleText, "parallel-test");
   EXPECT_TRUE(PR.Ok) << PR.Error;
   LoadFacts(DB);
-  Evaluator Eval(DB, Rules, Threads);
+  Evaluator Eval(DB, Rules, Threads, Plan);
   EXPECT_EQ(Eval.validate(), "");
   EXPECT_EQ(Eval.threadCount(), Threads);
   Eval.run();
@@ -370,6 +371,86 @@ TEST(ParallelProvenance, ExplainTreesAreIdenticalAcrossThreadCounts) {
       EXPECT_EQ(explainAll(Threads, F.Rules, F.Load), Sequential)
           << F.Name << " at thread count " << Threads;
   }
+}
+
+TEST(PlanInvariance, ContentsAndCountersMatchAcrossPlanModesAndThreads) {
+  // The cost-guided planner may only change how fast the fixpoint is
+  // reached: relation contents, rule×delta pass counts, and derived-tuple
+  // counts are identical to the textual baseline at every thread count,
+  // on both pipeline-shaped fixtures.
+  struct Fixture {
+    const char *Name;
+    const char *Rules;
+    std::function<void(Database &)> Load;
+  };
+  const Fixture Fixtures[] = {
+      {"tc-wide", TransitiveClosureRules,
+       [](Database &DB) { loadRandomGraph(DB, 100, 400, 17); }},
+      {"bean-wiring", BeanWiringRules,
+       [](Database &DB) { loadBeanFacts(DB, 40, 23); }},
+  };
+  for (const Fixture &F : Fixtures) {
+    Evaluator::Stats Baseline;
+    std::vector<Contents> Expected =
+        evaluateWith(1, F.Rules, F.Load, &Baseline, PlanMode::Textual);
+    for (PlanMode Plan : {PlanMode::Textual, PlanMode::Greedy})
+      for (unsigned Threads : {1u, 2u, 8u}) {
+        Evaluator::Stats Stats;
+        EXPECT_EQ(evaluateWith(Threads, F.Rules, F.Load, &Stats, Plan),
+                  Expected)
+            << F.Name << " plan " << planModeName(Plan) << " threads "
+            << Threads;
+        EXPECT_EQ(Stats.RuleEvaluations, Baseline.RuleEvaluations)
+            << F.Name << " plan " << planModeName(Plan) << " threads "
+            << Threads;
+        EXPECT_EQ(Stats.TuplesDerived, Baseline.TuplesDerived);
+        EXPECT_EQ(Stats.StratumCount, Baseline.StratumCount);
+      }
+  }
+}
+
+TEST(PlanInvariance, ExplainTreesAreIdenticalAcrossPlanModes) {
+  // Stronger than contents: the canonical derivation of every tuple must
+  // not depend on the join order either. The planner changes enumeration
+  // order within a pass, but the provenance tie-break (lowest rule, then
+  // lexicographically smallest witness ids) is order-free, so rendered
+  // trees — compared as a sorted set, as in the thread-count test above —
+  // coincide across plan modes and thread counts.
+  auto explainAll = [](unsigned Threads, PlanMode Plan, const char *RuleText,
+                       const std::function<void(Database &)> &LoadFacts) {
+    SymbolTable Symbols;
+    Database DB(Symbols);
+    RuleSet Rules;
+    ParserResult PR = parseRules(DB, Rules, RuleText, "parallel-test");
+    EXPECT_TRUE(PR.Ok) << PR.Error;
+    provenance::ProvenanceRecorder Recorder(DB, Rules);
+    Recorder.beginEpoch("base");
+    LoadFacts(DB);
+    Evaluator Eval(DB, Rules, Threads, Plan);
+    EXPECT_EQ(Eval.validate(), "");
+    Eval.setObserver(&Recorder);
+    Eval.run();
+
+    provenance::Explainer Ex(DB, Rules, Recorder);
+    std::vector<std::string> Trees;
+    for (uint32_t Rel = 0; Rel != DB.relationCount(); ++Rel) {
+      const Relation &R = DB.relation(RelationId(Rel));
+      for (uint32_t T = 0; T != R.size(); ++T)
+        Trees.push_back(provenance::Explainer::renderText(
+            Ex.explain(RelationId(Rel), T)));
+    }
+    std::sort(Trees.begin(), Trees.end());
+    return Trees;
+  };
+
+  auto Load = [](Database &DB) { loadBeanFacts(DB, 30, 29); };
+  std::vector<std::string> Expected =
+      explainAll(1, PlanMode::Textual, BeanWiringRules, Load);
+  EXPECT_FALSE(Expected.empty());
+  for (PlanMode Plan : {PlanMode::Textual, PlanMode::Greedy})
+    for (unsigned Threads : {1u, 8u})
+      EXPECT_EQ(explainAll(Threads, Plan, BeanWiringRules, Load), Expected)
+          << "plan " << planModeName(Plan) << " threads " << Threads;
 }
 
 TEST(ThreadConfig, EnvVarControlsDefaultThreadCount) {
