@@ -123,6 +123,83 @@ void BM_MapClientsSoundModulo(benchmark::State &State) {
   runMapClients(State, true);
 }
 
+/// Figure-5-shaped scaling workload: a large object population stored into
+/// a shared container-like holder field, then fanned out through wide
+/// layers of copy/cast chains — the java.util pattern that dominates the
+/// paper's cost attribution (many variables each carrying a large
+/// points-to set). Designed so steady-state work is subset-edge
+/// propagation, the part of the drain the sharded rounds parallelize.
+struct ScalingProgram {
+  SymbolTable Symbols;
+  std::unique_ptr<Program> P;
+  MethodId Main;
+};
+
+std::unique_ptr<ScalingProgram> makeScalingProgram(int Values, int Chains,
+                                                   int Depth) {
+  auto SP = std::make_unique<ScalingProgram>();
+  SP->P = std::make_unique<Program>(SP->Symbols);
+  Program &P = *SP->P;
+  TypeId Object =
+      P.addClass("java.lang.Object", TypeKind::Class, TypeId::invalid());
+  P.addClass("java.lang.String", TypeKind::Class, Object);
+  TypeId Holder = P.addClass("Holder", TypeKind::Class, Object);
+  TypeId Pay = P.addClass("Pay", TypeKind::Class, Object);
+  FieldId F = P.addField(Holder, "contents", Object);
+
+  MethodBuilder Main =
+      P.addMethod(Holder, "main", {}, TypeId::invalid(), true);
+  VarId H = Main.local("h", Holder);
+  Main.alloc(H, Holder);
+  VarId Pool = Main.local("pool", Object);
+  for (int V = 0; V != Values; ++V)
+    Main.alloc(Pool, Pay);
+  Main.store(H, F, Pool);
+  for (int C = 0; C != Chains; ++C) {
+    std::string Tag = std::to_string(C);
+    VarId Prev = Main.local("head" + Tag, Object);
+    Main.load(Prev, H, F);
+    for (int D = 0; D != Depth; ++D) {
+      VarId Link =
+          Main.local("link" + Tag + "_" + std::to_string(D), Object);
+      // Alternate plain copies with pass-all casts so propagation pays the
+      // type-filter check on half the hops, like real container glue.
+      if (D % 2 == 0)
+        Main.cast(Link, Object, Prev);
+      else
+        Main.move(Link, Prev);
+      Prev = Link;
+    }
+  }
+  SP->Main = Main.id();
+  P.finalize();
+  return SP;
+}
+
+/// Thread scaling on the figure-5-shaped workload: identical fixpoint at
+/// every worker count (asserted), wall-clock items/sec as the measure.
+void BM_SolveThreadScaling(benchmark::State &State) {
+  auto SP = makeScalingProgram(/*Values=*/512, /*Chains=*/64, /*Depth=*/24);
+  const unsigned Threads = static_cast<unsigned>(State.range(0));
+  uint64_t Items = 0;
+  uint64_t BaselineTuples = 0;
+  for (auto _ : State) {
+    Solver S(*SP->P, SolverConfig{0, 0, Threads});
+    S.makeReachable(SP->Main, S.contexts().empty());
+    S.solve();
+    Items = S.stats().WorkItems;
+    uint64_t Tuples = S.varPointsToTuplesTotal();
+    if (BaselineTuples == 0)
+      BaselineTuples = Tuples;
+    if (Tuples != BaselineTuples)
+      State.SkipWithError("fixpoint diverged across iterations");
+    benchmark::DoNotOptimize(Tuples);
+  }
+  State.SetItemsProcessed(State.iterations() * Items);
+  State.counters["work_items"] =
+      benchmark::Counter(static_cast<double>(Items));
+}
+
 void BM_ContextInterning(benchmark::State &State) {
   ContextTable Ctxs;
   uint64_t Counter = 0;
@@ -142,6 +219,13 @@ BENCHMARK(BM_Solve1ObjH)->Arg(16)->Arg(64);
 BENCHMARK(BM_Solve2ObjH)->Arg(16)->Arg(64);
 BENCHMARK(BM_MapClientsOriginal);
 BENCHMARK(BM_MapClientsSoundModulo);
+BENCHMARK(BM_SolveThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ContextInterning);
 
 BENCHMARK_MAIN();

@@ -77,6 +77,11 @@ int usage() {
               "(default: JACKEE_JOBS or hardware)\n"
               "  --threads=N            per-cell Datalog workers "
               "(default: 1 when jobs > 1)\n"
+              "  --solver-threads=N     per-cell points-to solver workers "
+              "(default: 1 when\n"
+              "                         jobs > 1; also via "
+              "JACKEE_SOLVER_THREADS) — results are\n"
+              "                         bit-identical at any N\n"
               "  --plan=MODE            Datalog join planning: 'greedy' "
               "(cost-guided,\n"
               "                         the default) or 'textual' (body "
@@ -226,6 +231,13 @@ int main(int Argc, char **Argv) {
         return usage();
       }
       Options.DatalogThreads = static_cast<unsigned>(N);
+    } else if (std::strncmp(Argv[I], "--solver-threads=", 17) == 0) {
+      long N = parseCount(Argv[I] + 17);
+      if (N < 0) {
+        std::printf("error: --solver-threads must be in 1..256\n\n");
+        return usage();
+      }
+      Options.SolverThreads = static_cast<unsigned>(N);
     } else if (std::strncmp(Argv[I], "--jobs=", 7) == 0) {
       long N = parseCount(Argv[I] + 7);
       if (N < 0) {

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a checked-in baseline.
+
+Prints a per-benchmark table of baseline vs current time and warns — via
+GitHub Actions `::warning::` annotations — on regressions beyond the
+threshold (default 25%). Always exits 0: CI runners have noisy, varying
+hardware, so the baselines track *trends*, they do not gate merges. Refresh
+a baseline by copying a representative BENCH_*.json artifact over
+bench/baselines/ when the workload intentionally changes.
+
+Usage: compare_bench.py [--threshold=0.25] BASELINE.json CURRENT.json
+"""
+
+import json
+import sys
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) — compare raw iterations.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry.get("name")
+        time = entry.get("real_time")
+        if name is not None and isinstance(time, (int, float)) and time > 0:
+            out[name] = (time, entry.get("time_unit", "ns"))
+    return out
+
+
+def main(argv):
+    threshold = 0.25
+    args = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            args.append(arg)
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base_path, cur_path = args
+    base = load(base_path)
+    cur = load(cur_path)
+
+    regressions = []
+    width = max((len(n) for n in sorted(set(base) | set(cur))), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<{width}}  {'--':>12}  (new, no baseline)")
+            continue
+        if name not in cur:
+            print(f"{name:<{width}}  (missing from current run)")
+            continue
+        (bt, bu), (ct, cu) = base[name], cur[name]
+        if bu != cu:
+            print(f"{name:<{width}}  time units differ ({bu} vs {cu}), "
+                  f"skipping")
+            continue
+        ratio = ct / bt
+        flag = "  <-- REGRESSION" if ratio > 1.0 + threshold else ""
+        print(f"{name:<{width}}  {bt:>10.3f}{bu:>2}  {ct:>10.3f}{cu:>2}  "
+              f"{ratio:5.2f}x{flag}")
+        if ratio > 1.0 + threshold:
+            regressions.append((name, ratio))
+
+    for name, ratio in regressions:
+        print(f"::warning title=Benchmark regression::{name} is "
+              f"{ratio:.2f}x the checked-in baseline "
+              f"(threshold {1.0 + threshold:.2f}x)")
+    if not regressions:
+        print(f"\nno regressions beyond {100 * threshold:.0f}% "
+              f"({len(cur)} benchmarks checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

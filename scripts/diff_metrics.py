@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Semantic diff of two benchmark_cli --benchmark_out JSON files.
+
+The solver/evaluator determinism contract (DESIGN.md §11) says every
+analysis answer is bit-identical at any JACKEE_SOLVER_THREADS /
+JACKEE_THREADS setting — only wall-clock, RSS, and scheduling observables
+may differ. This script enforces exactly that split: it compares the two
+files' benchmark entries field by field, ignoring the volatile fields, and
+exits non-zero on any semantic mismatch.
+
+Usage: diff_metrics.py BASELINE.json OTHER.json
+"""
+
+import json
+import sys
+
+# Fields that legitimately vary run to run or with the worker count.
+# Everything else must match exactly.
+VOLATILE_SUBSTRINGS = (
+    "seconds",          # real_time is seconds too, plus *_seconds phases
+    "real_time",
+    "tuples_per_sec",
+    "peak_rss",
+    "utilization",
+    "solver_threads",
+    "datalog_threads",
+    "pointsto.sched",
+    "pointsto.shard.steals",
+    "worker_idle",
+)
+
+
+def is_volatile(key: str) -> bool:
+    return any(s in key for s in VOLATILE_SUBSTRINGS)
+
+
+def load_benchmarks(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    entries = doc.get("benchmarks", doc if isinstance(doc, list) else [doc])
+    table = {}
+    for entry in entries:
+        name = entry.get("name", "<unnamed>")
+        table[name] = {
+            k: v for k, v in entry.items() if not is_volatile(k)
+        }
+    return table
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    base_path, other_path = argv[1], argv[2]
+    base = load_benchmarks(base_path)
+    other = load_benchmarks(other_path)
+
+    failures = 0
+    for name in sorted(set(base) | set(other)):
+        if name not in base:
+            print(f"DIFFERS: {name!r} only in {other_path}")
+            failures += 1
+            continue
+        if name not in other:
+            print(f"DIFFERS: {name!r} only in {base_path}")
+            failures += 1
+            continue
+        b, o = base[name], other[name]
+        for key in sorted(set(b) | set(o)):
+            bv, ov = b.get(key, "<absent>"), o.get(key, "<absent>")
+            if bv != ov:
+                print(f"DIFFERS: {name} .{key}: {bv!r} != {ov!r}")
+                failures += 1
+
+    if failures:
+        print(f"\n{failures} semantic difference(s) between "
+              f"{base_path} and {other_path}")
+        return 1
+    print(f"OK: {len(base)} benchmark entr{'y' if len(base) == 1 else 'ies'} "
+          f"semantically identical (volatile fields ignored)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -101,6 +101,7 @@ AnalysisResult jackee::core::runAnalysis(const Application &App,
   SessionOptions SO;
   SO.Jobs = 1;
   SO.DatalogThreads = Options.DatalogThreads;
+  SO.SolverThreads = Options.SolverThreads;
   SO.Plan = Options.Plan;
   SO.SnapshotCache = false;
   SO.MockOptions = MockOptions;

@@ -134,6 +134,8 @@ struct Metrics {
   // Solver effort (for ablations and sanity checks).
   uint64_t SolverWorkItems = 0;
   uint64_t SolverEdges = 0;
+  uint64_t SolverRounds = 0;    ///< sharded drain rounds (thread-invariant)
+  unsigned SolverThreads = 1;   ///< resolved solver worker count
 
   // Provenance recording (zero unless enabled via
   // `SessionOptions::Provenance` / `JACKEE_PROVENANCE`).
@@ -182,6 +184,12 @@ struct PipelineOptions {
   /// `Auto` resolves `JACKEE_PLAN`, defaulting to the greedy cost-guided
   /// planner; results are bit-identical in either mode.
   datalog::PlanMode Plan = datalog::PlanMode::Auto;
+
+  /// Worker threads for the points-to solver's sharded worklist drain.
+  /// 0 resolves the `JACKEE_SOLVER_THREADS` environment variable, falling
+  /// back to `hardware_concurrency`; 1 runs rounds inline. The fixpoint is
+  /// bit-identical at any setting (see DESIGN.md §11).
+  unsigned SolverThreads = 0;
 };
 
 /// What can go wrong assembling and running an analysis. These used to be

@@ -106,6 +106,7 @@ void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
 
   M.SolverWorkItems = S.stats().WorkItems;
   M.SolverEdges = S.stats().EdgesAdded;
+  M.SolverRounds = S.stats().Rounds;
 }
 
 } // namespace
@@ -126,6 +127,8 @@ AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
                       : defaultJobCount();
   CellThreads = Options.DatalogThreads ? Options.DatalogThreads
                                        : (Jobs > 1 ? 1u : 0u);
+  SolverCellThreads = Options.SolverThreads ? Options.SolverThreads
+                                            : (Jobs > 1 ? 1u : 0u);
   RecordProvenance = Options.Provenance;
   if (!RecordProvenance)
     if (const char *Env = std::getenv("JACKEE_PROVENANCE"))
@@ -266,9 +269,13 @@ AnalysisResult AnalysisSession::runCell(
     return AnalysisError{AnalysisErrorKind::Stratification,
                          App.Name + ": " + Err};
 
-  Solver S(P, solverConfig(Kind));
+  pointsto::SolverConfig SC = solverConfig(Kind);
+  SC.Threads = SolverCellThreads;
+  Solver S(P, SC);
   S.setTracer(Trace.get());
+  S.setMetricsRegistry(&Registry);
   S.addPlugin(&FM);
+  M.SolverThreads = S.config().Threads;
   M.PopulateSeconds = secondsSince(PopulateStart);
   PopulateSpan.end();
 

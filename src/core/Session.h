@@ -67,6 +67,13 @@ struct SessionOptions {
   /// evaluator's own `JACKEE_THREADS`/hardware default.
   unsigned DatalogThreads = 0;
 
+  /// Points-to solver workers *per cell* (see `pointsto::SolverConfig::
+  /// Threads`). 0 picks the same default policy as `DatalogThreads`:
+  /// 1 when the session runs cells in parallel, otherwise the solver's own
+  /// `JACKEE_SOLVER_THREADS`/hardware default. The fixpoint is
+  /// bit-identical at every setting.
+  unsigned SolverThreads = 0;
+
   /// Join-plan mode for Datalog rule evaluation in every cell. `Auto`
   /// resolves the `JACKEE_PLAN` environment variable
   /// ("textual"/"greedy"), defaulting to the greedy cost-guided planner;
@@ -202,6 +209,7 @@ private:
   SessionOptions Options;
   unsigned Jobs = 1;        ///< resolved matrix worker count
   unsigned CellThreads = 0; ///< resolved per-cell Datalog worker count
+  unsigned SolverCellThreads = 0; ///< per-cell solver worker request
   bool RecordProvenance = false; ///< Options.Provenance or JACKEE_PROVENANCE
   std::unique_ptr<observe::Tracer> Trace; ///< null when tracing is off
   std::string TraceOutPath; ///< from JACKEE_TRACE; written by the dtor

@@ -6,8 +6,13 @@
 
 #include "pointsto/Solver.h"
 
+#include "observe/Metrics.h"
+#include "support/WorkQueue.h"
+
 #include <algorithm>
+#include <cstdlib>
 #include <string_view>
+#include <thread>
 
 using namespace jackee;
 using namespace jackee::ir;
@@ -15,8 +20,38 @@ using namespace jackee::pointsto;
 
 const std::vector<NodeId> Solver::NoInstances;
 
+namespace {
+
+/// Resolves `SolverConfig::Threads == 0` the same way the Datalog evaluator
+/// resolves `JACKEE_THREADS`: environment variable first, then the
+/// hardware, clamped to [1, 256].
+unsigned resolveSolverThreads(unsigned Requested) {
+  if (Requested == 0) {
+    if (const char *Env = std::getenv("JACKEE_SOLVER_THREADS")) {
+      char *End = nullptr;
+      long Value = std::strtol(Env, &End, 10);
+      if (End != Env && *End == '\0' && Value >= 1 && Value <= 256)
+        return static_cast<unsigned>(Value);
+    }
+    Requested = std::thread::hardware_concurrency();
+  }
+  return std::clamp(Requested, 1u, 256u);
+}
+
+/// Rounds smaller than this run inline even at Threads > 1: two pool
+/// barriers cost more than propagating a handful of items. Purely a
+/// scheduling decision — both paths execute the identical staged algorithm
+/// in the identical order.
+constexpr size_t ParallelRoundThreshold = 128;
+
+} // namespace
+
 Solver::Solver(const Program &P, SolverConfig Config)
-    : P(P), Config(Config) {}
+    : P(P), Config(Config), Shards(NumShards) {
+  this->Config.Threads = resolveSolverThreads(Config.Threads);
+}
+
+Solver::~Solver() = default;
 
 //===----------------------------------------------------------------------===//
 // Interning
@@ -100,7 +135,7 @@ bool Solver::passesFilter(ValueId V, TypeId Filter) const {
 
 void Solver::propagate(NodeId N, ValueId V) {
   if (PointsTo[N.index()].insert(V.rawValue()))
-    Worklist.emplace_back(N, V);
+    Shards[shardOf(N)].Pending.push_back({N, V});
 }
 
 void Solver::addEdge(NodeId From, NodeId To, TypeId Filter) {
@@ -123,25 +158,6 @@ void Solver::addReaction(NodeId N, Reaction R) {
   Reactions[N.index()].push_back(R);
   for (size_t I = 0, E = PointsTo[N.index()].size(); I != E; ++I)
     applyReaction(R, ValueId(PointsTo[N.index()][I]));
-}
-
-void Solver::processWorkItem(NodeId N, ValueId V) {
-  // Index loops with per-iteration re-indexing: reactions intern nodes,
-  // which reallocates the outer Edges/Reactions tables. Entries appended to
-  // this node while we run replay existing values themselves, so stopping
-  // at the snapshot size stays sound (duplicates are absorbed by dedup).
-  for (size_t I = 0; I != Edges[N.index()].size(); ++I) {
-    Edge E = Edges[N.index()][I];
-    if (passesFilter(V, E.Filter))
-      propagate(E.Target, V);
-  }
-  for (size_t I = 0; I != Reactions[N.index()].size(); ++I) {
-    Reaction R = Reactions[N.index()][I];
-    ++SolverStats.ReactionsRun;
-    applyReaction(R, V);
-  }
-  if (Nodes[N.index()].Kind == NodeKind::CatchDispatch)
-    dispatchCatch(CMethodId(Nodes[N.index()].A), V);
 }
 
 void Solver::applyReaction(const Reaction &R, ValueId V) {
@@ -326,12 +342,104 @@ void Solver::seedObjectField(ValueId Base, FieldId F, ValueId V) {
   propagate(fieldNode(Base, F), V);
 }
 
+void Solver::phaseShard(uint32_t ShardIndex) {
+  // Read-only over the frozen solver state: points-to sets, edges,
+  // reactions, values and the program are mutated only at the barrier, so
+  // concurrent phase workers never race. Staging is source-shard-local.
+  Shard &S = Shards[ShardIndex];
+  for (const WorkItem &Item : S.Current) {
+    const uint32_t NIdx = Item.N.index();
+    const ValueId V = Item.V;
+    for (const Edge &E : Edges[NIdx]) {
+      if (!passesFilter(V, E.Filter))
+        continue;
+      // Frozen-state dedup: moves the membership hash probe into the
+      // parallel phase. A stale miss just re-checks at the merge.
+      if (PointsTo[E.Target.index()].contains(V.rawValue()))
+        continue;
+      S.StagedProps[shardOf(E.Target)].push_back({E.Target, V});
+    }
+    for (const Reaction &R : Reactions[NIdx])
+      S.StagedReactions.push_back({R, V});
+    if (Nodes[NIdx].Kind == NodeKind::CatchDispatch)
+      S.StagedCatches.push_back({CMethodId(Nodes[NIdx].A), V});
+  }
+  S.PhaseItems = S.Current.size();
+}
+
+void Solver::mergeShard(uint32_t ShardIndex) {
+  // Applies every staged propagation targeting this shard in canonical
+  // source-shard-major order. Only this task touches the shard's points-to
+  // entries and Pending queue, so running all merges concurrently yields
+  // the same state as running them sequentially.
+  for (uint32_t Src = 0; Src != NumShards; ++Src) {
+    std::vector<WorkItem> &Bucket = Shards[Src].StagedProps[ShardIndex];
+    for (const WorkItem &Item : Bucket)
+      propagate(Item.N, Item.V);
+    Bucket.clear();
+  }
+}
+
+bool Solver::hasPendingWork() const {
+  for (const Shard &S : Shards)
+    if (!S.Pending.empty())
+      return true;
+  return false;
+}
+
 void Solver::drainWorklist() {
-  while (!Worklist.empty()) {
-    auto [N, V] = Worklist.front();
-    Worklist.pop_front();
-    ++SolverStats.WorkItems;
-    processWorkItem(N, V);
+  while (true) {
+    // Admit: this round consumes everything discovered so far.
+    size_t Total = 0;
+    for (Shard &S : Shards) {
+      S.Current.clear();
+      std::swap(S.Current, S.Pending);
+      Total += S.Current.size();
+    }
+    if (Total == 0)
+      break;
+    ++SolverStats.Rounds;
+    SolverStats.WorkItems += Total;
+
+    const bool Parallel =
+        Config.Threads > 1 && Total >= ParallelRoundThreshold;
+    if (Parallel) {
+      if (!Pool)
+        Pool = std::make_unique<WorkerPool>(
+            std::min(Config.Threads, NumShards));
+      ++ParallelRounds;
+      const unsigned Workers = Pool->workerCount();
+      Pool->runBatch(NumShards, [this, Workers](uint32_t Task,
+                                                unsigned Worker) {
+        if (Task % Workers != Worker)
+          ++Shards[Task].Steals;
+        phaseShard(Task);
+      });
+      Pool->runBatch(NumShards,
+                     [this](uint32_t Task, unsigned) { mergeShard(Task); });
+    } else {
+      for (uint32_t I = 0; I != NumShards; ++I)
+        phaseShard(I);
+      for (uint32_t I = 0; I != NumShards; ++I)
+        mergeShard(I);
+    }
+
+    // Barrier: apply staged reactions and catch dispatches sequentially in
+    // canonical shard order. These intern nodes/values/contexts and grow
+    // the call graph (`wireCall`, `processBody`), which is exactly the
+    // state the phase freezes — so all of it happens here, single-threaded,
+    // in an order no scheduler can perturb.
+    for (Shard &S : Shards) {
+      S.TotalItems += S.PhaseItems;
+      for (const StagedReaction &SR : S.StagedReactions) {
+        ++SolverStats.ReactionsRun;
+        applyReaction(SR.R, SR.V);
+      }
+      S.StagedReactions.clear();
+      for (const StagedCatch &SC : S.StagedCatches)
+        dispatchCatch(SC.CM, SC.V);
+      S.StagedCatches.clear();
+    }
   }
 }
 
@@ -346,9 +454,35 @@ void Solver::solve() {
       Changed |= PluginPtr->onFixpoint(*this);
     ++SolverStats.PluginRounds;
     FixpointSpan.arg("work_items", SolverStats.WorkItems - ItemsBefore);
-    if (!Changed && Worklist.empty())
+    if (!Changed && !hasPendingWork())
       break;
   }
+  publishMetrics();
+}
+
+void Solver::publishMetrics() {
+  if (!Registry)
+    return;
+  // Thread-count-invariant samples: rounds, total work, and the per-shard
+  // distribution (64 observations, one per shard, in shard order).
+  Registry->add("pointsto.rounds", static_cast<double>(SolverStats.Rounds));
+  Registry->add("pointsto.work_items",
+                static_cast<double>(SolverStats.WorkItems));
+  Registry->add("pointsto.edges_added",
+                static_cast<double>(SolverStats.EdgesAdded));
+  Registry->add("pointsto.reactions_run",
+                static_cast<double>(SolverStats.ReactionsRun));
+  for (const Shard &S : Shards)
+    Registry->observe("pointsto.shard.work_items",
+                      static_cast<double>(S.TotalItems));
+  // Scheduling-dependent samples (vary with Threads and the OS scheduler;
+  // cross-thread-count diffs must filter these).
+  Registry->set("pointsto.sched.threads", Config.Threads);
+  Registry->add("pointsto.sched.parallel_rounds",
+                static_cast<double>(ParallelRounds));
+  for (const Shard &S : Shards)
+    Registry->observe("pointsto.shard.steals",
+                      static_cast<double>(S.Steals));
 }
 
 //===----------------------------------------------------------------------===//
@@ -370,6 +504,12 @@ std::vector<AllocSiteId> Solver::varPointsToSites(VarId Var) const {
   Result.reserve(Sites.size());
   for (uint32_t Raw : Sites)
     Result.push_back(AllocSiteId(Raw));
+  // Canonical order: equal site sets compare equal even when propagation
+  // reached them along different round schedules.
+  std::sort(Result.begin(), Result.end(),
+            [](AllocSiteId A, AllocSiteId B) {
+              return A.rawValue() < B.rawValue();
+            });
   return Result;
 }
 

@@ -29,10 +29,21 @@
 /// precision (Section 4 of the paper): the receiver is an internal TreeNode
 /// allocation, so the context no longer distinguishes the map's clients.
 ///
+/// The worklist drain is *sharded and bulk-synchronous* (DESIGN.md §11):
+/// work items are bucketed into a fixed number of node shards, and each
+/// round runs a read-only parallel propagation phase over source shards, a
+/// parallel-but-deterministic per-target-shard merge, and a sequential
+/// barrier that applies reaction firings (call wiring, catch dispatch,
+/// body processing) in canonical shard order. The shard count is a
+/// constant, independent of `SolverConfig::Threads`, so the fixpoint —
+/// points-to sets, call graph, stats, and provenance — is bit-identical at
+/// every thread count, including 1.
+///
 /// Plugins (`Plugin::onFixpoint`) run each time the worklist drains and may
 /// inject new facts (entry points, bean injections, getBean seeds); solving
 /// continues until plugins make no further changes. This realizes the
-/// paper's recursive framework/analysis coupling (Section 3.5).
+/// paper's recursive framework/analysis coupling (Section 3.5) and keeps
+/// the bean-wiring coupling rounds as the coarse synchronization points.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,12 +55,20 @@
 #include "pointsto/Context.h"
 #include "support/DenseSet.h"
 
-#include <deque>
+#include <array>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 namespace jackee {
+
+class WorkerPool;
+
+namespace observe {
+class MetricsRegistry;
+}
+
 namespace pointsto {
 
 /// A context-qualified abstract object: (allocation site, heap context).
@@ -65,6 +84,12 @@ struct SolverConfig {
   uint32_t ContextDepth = 0;
   /// H: heap-context depth.
   uint32_t HeapDepth = 0;
+  /// Worker threads for the sharded worklist drain. 0 resolves the
+  /// `JACKEE_SOLVER_THREADS` environment variable, falling back to
+  /// `hardware_concurrency`; 1 runs every round inline on the calling
+  /// thread. Results are bit-identical at any setting (clamped to
+  /// [1, 256] by the constructor).
+  unsigned Threads = 0;
 };
 
 class Solver;
@@ -85,8 +110,10 @@ public:
   Solver(const ir::Program &P, SolverConfig Config);
   Solver(const Solver &) = delete;
   Solver &operator=(const Solver &) = delete;
+  ~Solver();
 
   const ir::Program &program() const { return P; }
+  /// The configuration with `Threads` resolved (env var / hardware).
   const SolverConfig &config() const { return Config; }
   ContextTable &contexts() { return Ctxs; }
 
@@ -96,9 +123,17 @@ public:
   /// Attaches \p T as the span tracer (nullptr detaches). `solve()` emits
   /// one structural `solver`-category "fixpoint" span per
   /// drain-worklist/plugin iteration, whose args (round index, work-item
-  /// counts) are deterministic for a given analysis input.
+  /// counts) are deterministic for a given analysis input — at any
+  /// `Threads` setting.
   void setTracer(observe::Tracer *T) { Trace = T; }
   observe::Tracer *tracer() const { return Trace; }
+
+  /// Attaches \p R to receive solver metrics (nullptr detaches). `solve()`
+  /// publishes `pointsto.rounds`, `pointsto.work_items`, and the per-shard
+  /// `pointsto.shard.work_items` histogram (all thread-count-invariant),
+  /// plus scheduling-dependent `pointsto.shard.steals` /
+  /// `pointsto.sched.*` samples.
+  void setMetricsRegistry(observe::MetricsRegistry *R) { Registry = R; }
 
   // --- Seeding (used by drivers and the framework layer) -----------------
 
@@ -149,7 +184,9 @@ public:
   }
 
   /// Context-insensitive projection: distinct allocation sites pointed to by
-  /// any context instance of \p Var.
+  /// any context instance of \p Var, sorted by site id (canonical order, so
+  /// two variables with equal site *sets* compare equal regardless of the
+  /// order propagation reached them).
   std::vector<ir::AllocSiteId> varPointsToSites(ir::VarId Var) const;
 
   /// All (method, ctx) pairs reached.
@@ -198,6 +235,9 @@ public:
     uint64_t EdgesAdded = 0;
     uint64_t ReactionsRun = 0;
     uint32_t PluginRounds = 0;
+    /// Bulk-synchronous drain rounds across all fixpoints. Thread-count
+    /// invariant (the shard count is fixed, not derived from `Threads`).
+    uint64_t Rounds = 0;
   };
   const Stats &stats() const { return SolverStats; }
 
@@ -241,6 +281,45 @@ private:
     CMethodId CallerCM; ///< for call wiring (exception edges)
   };
 
+  // --- Sharded worklist (DESIGN.md §11) -----------------------------------
+
+  /// Shard count. A constant (not `Threads`-derived): the canonical
+  /// source-shard-major application order at the barrier must not depend on
+  /// the worker count, or the fixpoint trajectory would.
+  static constexpr uint32_t NumShards = 64;
+  static constexpr uint32_t ShardMask = NumShards - 1;
+  static uint32_t shardOf(NodeId N) { return N.index() & ShardMask; }
+
+  struct WorkItem {
+    NodeId N;
+    ValueId V;
+  };
+  struct StagedReaction {
+    Reaction R;
+    ValueId V;
+  };
+  struct StagedCatch {
+    CMethodId CM;
+    ValueId V;
+  };
+
+  /// Per-shard drain state. During the parallel phase a worker touches only
+  /// the staging vectors of the source shard it was handed; during the
+  /// merge only the `Pending` queue and points-to entries of its target
+  /// shard. All cross-shard traffic goes through `StagedProps`, bucketed by
+  /// target shard.
+  struct Shard {
+    std::vector<WorkItem> Current; ///< items admitted to this round
+    std::vector<WorkItem> Pending; ///< items discovered, next round's input
+    /// Propagations staged by the phase, bucketed by `shardOf(target)`.
+    std::array<std::vector<WorkItem>, NumShards> StagedProps;
+    std::vector<StagedReaction> StagedReactions;
+    std::vector<StagedCatch> StagedCatches;
+    uint64_t PhaseItems = 0; ///< items this round (scratch)
+    uint64_t TotalItems = 0; ///< lifetime work items (deterministic)
+    uint64_t Steals = 0;     ///< phase tasks run off their home worker
+  };
+
   NodeId internNode(NodeKind Kind, uint32_t A, uint32_t B);
   NodeId varNode(ir::VarId Var, CtxId Ctx);
   NodeId fieldNode(ValueId Base, ir::FieldId F);
@@ -254,10 +333,19 @@ private:
   void propagate(NodeId N, ValueId V);
   void addEdge(NodeId From, NodeId To, ir::TypeId Filter = ir::TypeId::invalid());
   void addReaction(NodeId N, Reaction R);
-  void processWorkItem(NodeId N, ValueId V);
   void applyReaction(const Reaction &R, ValueId V);
   void dispatchCatch(CMethodId CM, ValueId V);
+
+  /// Round step 1: read-only propagation over one source shard's admitted
+  /// items, staging successor work. Safe to run concurrently across shards.
+  void phaseShard(uint32_t ShardIndex);
+  /// Round step 2: merges staged propagations into one target shard's
+  /// points-to sets in canonical source-shard-major order. Shards own
+  /// disjoint state, so concurrent merges stay deterministic.
+  void mergeShard(uint32_t ShardIndex);
   void drainWorklist();
+  bool hasPendingWork() const;
+  void publishMetrics();
 
   /// Processes all statements of a newly reachable (method, ctx).
   void processBody(CMethodId CM);
@@ -311,10 +399,15 @@ private:
   std::vector<CastRecord> Casts;
   std::unordered_map<const ir::Statement *, uint32_t> CastIndex;
 
-  std::deque<std::pair<NodeId, ValueId>> Worklist;
+  std::vector<Shard> Shards;
+  /// Created lazily on the first round big enough to parallelize.
+  std::unique_ptr<WorkerPool> Pool;
+  uint64_t ParallelRounds = 0; ///< scheduling-dependent (threshold + pool)
+
   std::vector<Plugin *> Plugins;
   Stats SolverStats;
   observe::Tracer *Trace = nullptr;
+  observe::MetricsRegistry *Registry = nullptr;
 
   static const std::vector<NodeId> NoInstances;
 };
