@@ -107,7 +107,17 @@ int usage() {
               "                         matching QUERY — 'Rel(\"a\", _)' or "
               "bare 'Rel'\n"
               "  --explain-json         render --explain trees as JSON "
-              "instead of text\n\n");
+              "instead of text\n"
+              "  --edit=SCRIPT          replay the scripted edit sequence "
+              "('petstore') through\n"
+              "                         live AnalysisCell::update calls and "
+              "print a deterministic\n"
+              "                         per-step report (digest + metrics + "
+              "explain)\n"
+              "  --edit-scratch         replay the same script via "
+              "from-scratch cells instead —\n"
+              "                         the output must byte-match "
+              "--edit's\n\n");
   std::printf("benchmarks:");
   for (const NamedApp &A : Apps)
     std::printf(" %s", A.Name);
@@ -154,19 +164,17 @@ long parseCount(const char *Text) {
 /// provenance subsystem is for — "why does the analysis believe this?".
 int runExplain(AnalysisSession &Session, const Application &App,
                AnalysisKind Kind, const std::string &Query, bool Json) {
-  std::unique_ptr<CellProvenance> Cell;
-  AnalysisResult R = Session.run(App, Kind, Cell);
-  if (!R) {
+  CellResult Cell = Session.open(App, Kind);
+  if (!Cell) {
     std::fprintf(stderr, "error [%s]: %s\n",
-                 analysisErrorKindName(R.error().Kind),
-                 R.error().Message.c_str());
+                 analysisErrorKindName(Cell.error().Kind),
+                 Cell.error().Message.c_str());
     return 1;
   }
 
-  provenance::Explainer Ex(*Cell->DB, Cell->Rules, *Cell->Recorder);
   std::string Error;
   std::vector<provenance::DerivationNode> Trees =
-      Ex.explainQuery(Query, Error);
+      Cell->explain(Query, Error);
   if (!Error.empty()) {
     std::fprintf(stderr, "explain: %s\n", Error.c_str());
     return 1;
@@ -182,14 +190,14 @@ int runExplain(AnalysisSession &Session, const Application &App,
     // Entity codes ("M#7") are opaque; decode method subjects for the
     // reader when the relation carries one.
     const datalog::Relation &Rel =
-        Cell->DB->relation(datalog::RelationId(Tree.Rel));
+        Cell->database().relation(datalog::RelationId(Tree.Rel));
     std::string Legend;
     if (Rel.arity() >= 1) {
       const std::string &Text =
-          Cell->DB->symbols().text(Rel.tuple(Tree.TupleIdx)[0]);
+          Cell->database().symbols().text(Rel.tuple(Tree.TupleIdx)[0]);
       ir::MethodId M = facts::Extractor::decodeMethod(Text);
       if (M.isValid())
-        Legend = "  (" + Text + " = " + Cell->Program->qualifiedName(M) + ")";
+        Legend = "  (" + Text + " = " + Cell->program().qualifiedName(M) + ")";
     }
     std::printf("\n-- %s%s\n", Tree.Atom.c_str(), Legend.c_str());
     std::string Rendered = Json ? provenance::Explainer::renderJson(Tree)
@@ -199,13 +207,195 @@ int runExplain(AnalysisSession &Session, const Application &App,
       std::printf("\n");
   }
 
-  const provenance::ProvenanceRecorder::Stats &PS = Cell->Recorder->stats();
+  const provenance::ProvenanceRecorder::Stats &PS = Cell->recorder().stats();
   std::printf("\nprovenance: %llu tuples recorded, %llu candidates seen, "
               "%zu glue events, %zu epochs\n",
               static_cast<unsigned long long>(PS.TuplesRecorded),
               static_cast<unsigned long long>(PS.CandidatesSeen),
-              Cell->Recorder->glueEvents().size(),
-              Cell->Recorder->epochCount());
+              Cell->recorder().glueEvents().size(),
+              Cell->recorder().epochCount());
+  return 0;
+}
+
+/// Deterministic projection of a metrics row for the incremental replay:
+/// only fields that must be bit-identical between a delta update and a
+/// from-scratch analysis (no wall-clock, no solver effort counters).
+void printStableMetrics(const Metrics &M) {
+  std::printf("metrics: reach=%u/%u vpt=%llu cg=%llu polyvcall=%u "
+              "mayfail=%u casts=%u beans=%u inject=%u entry=%u\n",
+              M.AppReachableMethods, M.AppConcreteMethods,
+              static_cast<unsigned long long>(M.VptTuplesTotal),
+              static_cast<unsigned long long>(M.CallGraphEdges),
+              M.AppPolyVCalls, M.AppMayFailCasts, M.AppCasts, M.BeansCreated,
+              M.InjectionsApplied, M.EntryPointsExercised);
+}
+
+/// The scripted petstore edit sequence for `--edit=petstore`: four steps
+/// exercising code+config insertion, config retraction, class retraction,
+/// and a warm (insert-only) bean wiring. CI replays it twice — once
+/// through live `AnalysisCell::update` calls and once from scratch via
+/// `applyDelta` — and byte-diffs the stdout.
+std::vector<CellDelta> petstoreEditScript() {
+  std::vector<CellDelta> Steps;
+
+  // Step 1: add an audit subsystem — a logger bean, a servlet that uses
+  // it, and an (initially unwired) metrics class — plus the XML that wires
+  // the first two.
+  CellDelta S1;
+  S1.AddCode = [](ir::Program &P, const javalib::JavaLib &L,
+                  const frameworks::FrameworkLib &F) {
+    auto appClass = [&](const char *Name, ir::TypeId Super) {
+      return P.addClass(Name, ir::TypeKind::Class, Super, {}, false,
+                        /*IsApplication=*/true);
+    };
+
+    ir::TypeId Logger = appClass("shop.AuditLogger", L.Object);
+    P.addMethod(Logger, "<init>", {}, ir::TypeId::invalid());
+    ir::MethodBuilder Log =
+        P.addMethod(Logger, "log", {L.String}, ir::TypeId::invalid());
+    {
+      ir::VarId S = Log.local("s", L.String);
+      Log.move(S, Log.param(0));
+    }
+
+    ir::TypeId Servlet = appClass("shop.AuditServlet", F.HttpServlet);
+    ir::FieldId LoggerField = P.addField(Servlet, "auditLogger", Logger);
+    ir::MethodBuilder DoGet = P.addMethod(
+        Servlet, "doGet", {F.HttpServletRequest, F.HttpServletResponse},
+        ir::TypeId::invalid());
+    {
+      ir::VarId Lg = DoGet.local("logger", Logger);
+      ir::VarId Msg = DoGet.local("msg", L.String);
+      DoGet.load(Lg, DoGet.thisVar(), LoggerField)
+          .stringConst(Msg, "audit")
+          .virtualCall(ir::VarId::invalid(), Lg, "log", {L.String}, {Msg});
+    }
+
+    ir::TypeId MetricsClass = appClass("shop.Metrics", L.Object);
+    P.addMethod(MetricsClass, "<init>", {}, ir::TypeId::invalid());
+    ir::MethodBuilder Tick =
+        P.addMethod(MetricsClass, "tick", {}, ir::TypeId::invalid());
+    {
+      ir::VarId V = Tick.local("v", L.String);
+      Tick.stringConst(V, "tick");
+    }
+  };
+  S1.AddConfigs.push_back(
+      {"audit-beans.xml",
+       "<beans>\n"
+       "  <bean id=\"auditLogger\" class=\"shop.AuditLogger\"/>\n"
+       "</beans>\n"});
+  S1.AddConfigs.push_back(
+      {"web2.xml",
+       "<web-app>\n"
+       "  <servlet>\n"
+       "    <servlet-class>shop.AuditServlet</servlet-class>\n"
+       "  </servlet>\n"
+       "</web-app>\n"});
+  Steps.push_back(std::move(S1));
+
+  // Step 2: unregister the servlet (config-only retraction).
+  CellDelta S2;
+  S2.RetractConfigs.push_back("web2.xml");
+  Steps.push_back(std::move(S2));
+
+  // Step 3: delete the audit classes and their bean definition.
+  CellDelta S3;
+  S3.RetractClasses.push_back("shop.AuditServlet");
+  S3.RetractClasses.push_back("shop.AuditLogger");
+  S3.RetractConfigs.push_back("audit-beans.xml");
+  Steps.push_back(std::move(S3));
+
+  // Step 4: wire the surviving Metrics class as a bean — insert-only, so
+  // the warm (no-reset) update path runs.
+  CellDelta S4;
+  S4.AddConfigs.push_back(
+      {"metrics-beans.xml",
+       "<beans>\n"
+       "  <bean id=\"metrics\" class=\"shop.Metrics\"/>\n"
+       "</beans>\n"});
+  Steps.push_back(std::move(S4));
+  return Steps;
+}
+
+/// Prints the per-step replay report: stable metrics, the canonical
+/// analysis digest, and a fixed explain query. Everything printed must be
+/// bit-identical between the live-update and from-scratch replays.
+int printEditStep(AnalysisCell &Cell, size_t Step) {
+  std::printf("== step %zu ==\n", Step);
+  printStableMetrics(Cell.metrics());
+  std::printf("digest:\n%s", Cell.canonicalDigest().c_str());
+  std::string Error;
+  std::vector<provenance::DerivationNode> Trees =
+      Cell.explain("ExercisedEntryPoint", Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "explain: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("explain: %zu entry-point tuple(s)\n", Trees.size());
+  return 0;
+}
+
+/// `--edit=petstore`: replay the scripted edit sequence through live
+/// `AnalysisCell::update` calls (or, with `--edit-scratch`, through
+/// from-scratch cells built by `applyDelta`) and print a deterministic
+/// per-step report for CI byte-diffing.
+int runEditReplay(AnalysisSession &Session, AnalysisKind Kind, bool Scratch) {
+  std::vector<CellDelta> Steps = petstoreEditScript();
+  std::printf("edit replay: petstore/%s, %zu steps, mode=%s\n",
+              analysisName(Kind), Steps.size(),
+              Scratch ? "scratch" : "incremental");
+
+  if (Scratch) {
+    // Baseline: step K = cold analysis of base + deltas[0..K].
+    {
+      CellResult Cell = Session.open(petstoreApp(), Kind);
+      if (!Cell) {
+        std::fprintf(stderr, "error [%s]: %s\n",
+                     analysisErrorKindName(Cell.error().Kind),
+                     Cell.error().Message.c_str());
+        return 1;
+      }
+      if (int RC = printEditStep(*Cell, 0))
+        return RC;
+    }
+    std::vector<CellDelta> Applied;
+    for (size_t I = 0; I != Steps.size(); ++I) {
+      Applied.push_back(Steps[I]);
+      Application Edited = applyDelta(petstoreApp(), Applied);
+      CellResult Cell = Session.open(Edited, Kind);
+      if (!Cell) {
+        std::fprintf(stderr, "error [%s]: %s\n",
+                     analysisErrorKindName(Cell.error().Kind),
+                     Cell.error().Message.c_str());
+        return 1;
+      }
+      if (int RC = printEditStep(*Cell, I + 1))
+        return RC;
+    }
+    return 0;
+  }
+
+  CellResult Cell = Session.open(petstoreApp(), Kind);
+  if (!Cell) {
+    std::fprintf(stderr, "error [%s]: %s\n",
+                 analysisErrorKindName(Cell.error().Kind),
+                 Cell.error().Message.c_str());
+    return 1;
+  }
+  if (int RC = printEditStep(*Cell, 0))
+    return RC;
+  for (size_t I = 0; I != Steps.size(); ++I) {
+    AnalysisResult R = Cell->update(Steps[I]);
+    if (!R) {
+      std::fprintf(stderr, "error [%s]: %s\n",
+                   analysisErrorKindName(R.error().Kind),
+                   R.error().Message.c_str());
+      return 1;
+    }
+    if (int RC = printEditStep(*Cell, I + 1))
+      return RC;
+  }
   return 0;
 }
 
@@ -218,12 +408,18 @@ int main(int Argc, char **Argv) {
   std::string TraceStructurePath;
   std::string ExplainQuery;
   bool ExplainJson = false;
+  std::string EditScript;
+  bool EditScratch = false;
   std::vector<const char *> Positional;
   for (int I = 1; I != Argc; ++I) {
     if (std::strncmp(Argv[I], "--explain=", 10) == 0) {
       ExplainQuery = Argv[I] + 10;
     } else if (std::strcmp(Argv[I], "--explain-json") == 0) {
       ExplainJson = true;
+    } else if (std::strncmp(Argv[I], "--edit=", 7) == 0) {
+      EditScript = Argv[I] + 7;
+    } else if (std::strcmp(Argv[I], "--edit-scratch") == 0) {
+      EditScratch = true;
     } else if (std::strncmp(Argv[I], "--threads=", 10) == 0) {
       long N = parseCount(Argv[I] + 10);
       if (N < 0) {
@@ -266,6 +462,22 @@ int main(int Argc, char **Argv) {
     } else {
       Positional.push_back(Argv[I]);
     }
+  }
+  if (!EditScript.empty()) {
+    if (EditScript != "petstore") {
+      std::printf("error: unknown edit script '%s' (only 'petstore')\n\n",
+                  EditScript.c_str());
+      return usage();
+    }
+    std::optional<AnalysisKind> Kind =
+        Positional.size() == 1 ? parseKind(lowered(Positional[0]))
+                               : std::nullopt;
+    if (!Kind) {
+      std::printf("error: --edit needs exactly one analysis\n\n");
+      return usage();
+    }
+    AnalysisSession EditSession(Options);
+    return runEditReplay(EditSession, *Kind, EditScratch);
   }
   if (Positional.size() < 2)
     return usage();

@@ -9,157 +9,83 @@
 // XML-injected beans into the order repository and reports which types can
 // reach the persistence layer.
 //
+// The example drives the live-cell API: `AnalysisSession::open` returns an
+// `AnalysisCell` that keeps the whole analysis state alive, so the audit
+// can query the solver and the provenance recorder directly — and then
+// apply a *delta* (a new audit subsystem wired by a new XML file) and
+// re-analyze incrementally instead of from scratch.
+//
 //===----------------------------------------------------------------------===//
 
-#include "core/Pipeline.h"
-#include "datalog/Database.h"
-#include "frameworks/FrameworkManager.h"
-#include "javalib/JavaLibrary.h"
-#include "pointsto/Solver.h"
+#include "core/Session.h"
 #include "provenance/Explain.h"
+#include "synth/SynthApp.h"
 
 #include <cstdio>
 
 using namespace jackee;
-using namespace jackee::ir;
-using namespace jackee::pointsto;
+using namespace jackee::core;
+
+namespace {
+
+/// The first live method named \p Name declared by class \p ClassName.
+ir::MethodId findMethod(const ir::Program &P, const char *ClassName,
+                        const char *Name) {
+  ir::TypeId T = P.findType(ClassName);
+  if (!T.isValid())
+    return ir::MethodId::invalid();
+  for (ir::MethodId M : P.type(T).Methods)
+    if (!P.method(M).IsRetracted && P.symbols().text(P.method(M).Name) == Name)
+      return M;
+  return ir::MethodId::invalid();
+}
+
+void reportReachability(const AnalysisCell &Cell, const char *ClassName,
+                        const char *Name) {
+  ir::MethodId M = findMethod(Cell.program(), ClassName, Name);
+  if (!M.isValid()) {
+    std::printf("  %s.%s: (not in program)\n", ClassName, Name);
+    return;
+  }
+  std::printf("  %-40s %s\n", Cell.program().qualifiedName(M).c_str(),
+              Cell.solver().isMethodReachable(M) ? "REACHABLE"
+                                                 : "unreachable");
+}
+
+} // namespace
 
 int main() {
-  SymbolTable Symbols;
-  Program P(Symbols);
-  javalib::JavaLib L =
-      javalib::buildJavaLibrary(P, javalib::CollectionModel::SoundModulo);
-  frameworks::FrameworkLib F = frameworks::buildFrameworkLibrary(P, L);
+  SessionOptions Options;
+  Options.Provenance = true; // record derivations for the audit trail
+  AnalysisSession Session(Options);
 
-  // --- The pet store ------------------------------------------------------
-  auto appClass = [&](const char *Name, TypeId Super,
-                      std::vector<TypeId> Ifaces = {}) {
-    return P.addClass(Name, TypeKind::Class, Super, std::move(Ifaces), false,
-                      /*IsApplication=*/true);
-  };
-
-  // Domain.
-  TypeId Order = appClass("shop.Order", L.Object);
-  P.addMethod(Order, "<init>", {}, TypeId::invalid());
-
-  // OrderRepository: a map-backed store.
-  TypeId Repo = appClass("shop.OrderRepository", L.Object);
-  FieldId RepoCache = P.addField(Repo, "cache", L.Map);
-  MethodBuilder RepoInit = P.addMethod(Repo, "<init>", {}, TypeId::invalid());
-  {
-    VarId M = RepoInit.local("m", L.HashMap);
-    RepoInit.alloc(M, L.HashMap)
-        .specialCall(VarId::invalid(), M, L.HashMapInit, {})
-        .store(RepoInit.thisVar(), RepoCache, M);
-  }
-  MethodBuilder Persist =
-      P.addMethod(Repo, "persist", {L.Object}, TypeId::invalid());
-  {
-    VarId C = Persist.local("c", L.Map);
-    Persist.load(C, Persist.thisVar(), RepoCache)
-        .virtualCall(VarId::invalid(), C, "put", {L.Object, L.Object},
-                     {Persist.param(0), Persist.param(0)});
-  }
-
-  // CheckoutService, wired to the repository purely through XML.
-  TypeId Svc = appClass("shop.CheckoutService", L.Object);
-  FieldId SvcRepo = P.addField(Svc, "orders", Repo);
-  P.addMethod(Svc, "<init>", {}, TypeId::invalid());
-  MethodBuilder Checkout =
-      P.addMethod(Svc, "checkout", {L.Object}, TypeId::invalid());
-  {
-    VarId R = Checkout.local("r", Repo);
-    VarId O = Checkout.local("o", Order);
-    Checkout.load(R, Checkout.thisVar(), SvcRepo)
-        .alloc(O, Order)
-        .virtualCall(VarId::invalid(), R, "persist", {L.Object}, {O})
-        // The request-derived parameter also reaches persistence — this is
-        // the kind of flow a taint audit wants to see.
-        .virtualCall(VarId::invalid(), R, "persist", {L.Object},
-                     {Checkout.param(0)});
-  }
-
-  // The front-end servlet, registered in web.xml.
-  TypeId Servlet = appClass("shop.CheckoutServlet", F.HttpServlet);
-  FieldId ServletSvc = P.addField(Servlet, "service", Svc);
-  MethodBuilder DoPost = P.addMethod(
-      Servlet, "doPost", {F.HttpServletRequest, F.HttpServletResponse},
-      TypeId::invalid());
-  {
-    VarId Name = DoPost.local("name", L.String);
-    VarId Param = DoPost.local("param", L.String);
-    VarId S = DoPost.local("s", Svc);
-    DoPost.stringConst(Name, "itemId")
-        .virtualCall(Param, DoPost.param(0), "getParameter", {L.String},
-                     {Name})
-        .load(S, DoPost.thisVar(), ServletSvc)
-        .virtualCall(VarId::invalid(), S, "checkout", {L.Object}, {Param});
-  }
-
-  // --- Configuration (all the wiring!) ------------------------------------
-  const char *BeansXml = R"(
-    <beans>
-      <bean id="orderRepository" class="shop.OrderRepository"/>
-      <bean id="checkoutService" class="shop.CheckoutService">
-        <property name="orders" ref="orderRepository"/>
-      </bean>
-      <bean id="checkoutServlet" class="shop.CheckoutServlet">
-        <property name="service" ref="checkoutService"/>
-      </bean>
-    </beans>)";
-  const char *WebXml = R"(
-    <web-app>
-      <servlet>
-        <servlet-name>checkout</servlet-name>
-        <servlet-class>shop.CheckoutServlet</servlet-class>
-      </servlet>
-    </web-app>)";
-
-  // --- Analysis ------------------------------------------------------------
-  datalog::Database DB(Symbols);
-  frameworks::FrameworkManager FM(P, DB);
-  provenance::ProvenanceRecorder Recorder(DB, FM.rules());
-  FM.setProvenance(&Recorder); // before prepare(): extraction epoch first
-  FM.addDefaultFrameworks();
-  if (std::string E = FM.addConfigXml("beans.xml", BeansXml); !E.empty()) {
-    std::printf("config error: %s\n", E.c_str());
+  CellResult Opened = Session.open(synth::petstoreApp(), AnalysisKind::Mod2ObjH);
+  if (!Opened) {
+    std::printf("error: %s\n", Opened.error().Message.c_str());
     return 1;
   }
-  if (std::string E = FM.addConfigXml("web.xml", WebXml); !E.empty()) {
-    std::printf("config error: %s\n", E.c_str());
-    return 1;
-  }
-  P.finalize();
-  if (std::string E = FM.prepare(); !E.empty()) {
-    std::printf("rule error: %s\n", E.c_str());
-    return 1;
-  }
-
-  Solver S(P, core::solverConfig(core::AnalysisKind::Mod2ObjH));
-  S.addPlugin(&FM);
-  S.solve();
+  AnalysisCell &Cell = *Opened;
+  const Metrics &M = Cell.metrics();
 
   // --- Audit report --------------------------------------------------------
   std::printf("== petstore audit (mod-2objH) ==\n\n");
   std::printf("discovered entry points: %u (beans: %u, injections: %u)\n\n",
-              FM.stats().EntryPointsExercised, FM.stats().BeansCreated,
-              FM.stats().InjectionsApplied);
+              M.EntryPointsExercised, M.BeansCreated, M.InjectionsApplied);
 
-  auto reach = [&](MethodId M) {
-    std::printf("  %-40s %s\n", P.qualifiedName(M).c_str(),
-                S.isMethodReachable(M) ? "REACHABLE" : "unreachable");
-  };
   std::printf("persistence path:\n");
-  reach(DoPost.id());
-  reach(Checkout.id());
-  reach(Persist.id());
+  reportReachability(Cell, "shop.CheckoutServlet", "doPost");
+  reportReachability(Cell, "shop.CheckoutService", "checkout");
+  reportReachability(Cell, "shop.OrderRepository", "persist");
 
+  const ir::Program &P = Cell.program();
+  ir::MethodId Persist = findMethod(P, "shop.OrderRepository", "persist");
   std::printf("\ntypes that can reach OrderRepository.persist():\n");
-  for (AllocSiteId Site : S.varPointsToSites(P.method(Persist.id()).Params[0])) {
-    const AllocSite &A = P.allocSite(Site);
+  for (ir::AllocSiteId Site :
+       Cell.solver().varPointsToSites(P.method(Persist).Params[0])) {
+    const ir::AllocSite &A = P.allocSite(Site);
     std::printf("  - %s (%s)\n",
-                Symbols.text(P.type(A.ObjectType).Name).c_str(),
-                Symbols.text(A.Label).c_str());
+                P.symbols().text(P.type(A.ObjectType).Name).c_str(),
+                P.symbols().text(A.Label).c_str());
   }
   std::printf("\nThe java.lang.String entry above is the request parameter: "
               "attacker-controlled\ninput reaches persistence, which is "
@@ -171,20 +97,52 @@ int main() {
   // framework layer performed on the analysis's behalf. The provenance
   // recorder answers both.
   std::printf("\n== entry-point audit trail ==\n");
-  provenance::Explainer Ex(DB, FM.rules(), Recorder);
   std::string Error;
   for (const provenance::DerivationNode &Tree :
-       Ex.explainQuery("ExercisedEntryPoint", Error)) {
+       Cell.explain("ExercisedEntryPoint", Error))
     std::printf("\nwhy %s:\n%s", Tree.Atom.c_str(),
                 provenance::Explainer::renderText(Tree).c_str());
-  }
 
   std::printf("\nframework glue (imperative actions per bean-wiring "
               "round):\n");
   for (const provenance::ProvenanceRecorder::GlueEvent &E :
-       Recorder.glueEvents())
+       Cell.recorder().glueEvents())
     std::printf("  round %u  %-22s %-28s %s\n", E.Round,
                 provenance::ProvenanceRecorder::glueKindName(E.EventKind),
                 E.Subject.c_str(), E.Detail.c_str());
+
+  // --- Incremental re-audit -------------------------------------------------
+  // The shop grows an audit subsystem: a new logger class plus the XML bean
+  // definition wiring it. Instead of rebuilding the whole cell, hand the
+  // edit to `update()` — the delta path retracts what the edit invalidates,
+  // re-derives the rest, and the audit questions above can be asked again.
+  std::printf("\n== after adding an audit logger bean (incremental) ==\n");
+  CellDelta Delta;
+  Delta.AddCode = [](ir::Program &Prog, const javalib::JavaLib &L,
+                     const frameworks::FrameworkLib &) {
+    ir::TypeId Logger = Prog.addClass("shop.AuditLogger", ir::TypeKind::Class,
+                                      L.Object, {}, false,
+                                      /*IsApplication=*/true);
+    Prog.addMethod(Logger, "<init>", {}, ir::TypeId::invalid());
+    ir::MethodBuilder Log =
+        Prog.addMethod(Logger, "log", {L.String}, ir::TypeId::invalid());
+    ir::VarId S = Log.local("s", L.String);
+    Log.move(S, Log.param(0));
+  };
+  Delta.AddConfigs.push_back(
+      {"audit-beans.xml",
+       "<beans>\n"
+       "  <bean id=\"auditLogger\" class=\"shop.AuditLogger\"/>\n"
+       "</beans>\n"});
+  AnalysisResult Updated = Cell.update(Delta);
+  if (!Updated) {
+    std::printf("update error: %s\n", Updated.error().Message.c_str());
+    return 1;
+  }
+  std::printf("entry points now: %u (beans: %u) after update #%u\n",
+              Updated->EntryPointsExercised, Updated->BeansCreated,
+              Cell.updateCount());
+  reportReachability(Cell, "shop.AuditLogger", "log");
+  reportReachability(Cell, "shop.OrderRepository", "persist");
   return 0;
 }

@@ -8,7 +8,13 @@ may differ. This script enforces exactly that split: it compares the two
 files' benchmark entries field by field, ignoring the volatile fields, and
 exits non-zero on any semantic mismatch.
 
-Usage: diff_metrics.py BASELINE.json OTHER.json
+Usage: diff_metrics.py [--incremental] BASELINE.json OTHER.json
+
+With --incremental, effort counters are also ignored: an incremental
+update (AnalysisCell::update, DESIGN.md §12) must reproduce the same
+*answers* as a from-scratch analysis, but its delete/re-derive pass and
+re-solve legitimately perform a different amount of work, and its
+provenance/glue trails accumulate across epochs.
 """
 
 import json
@@ -29,9 +35,30 @@ VOLATILE_SUBSTRINGS = (
     "worker_idle",
 )
 
+# Additionally volatile between a delta update and a cold analysis: pure
+# effort/bookkeeping, never answers.
+INCREMENTAL_VOLATILE_SUBSTRINGS = (
+    "solver_rounds",
+    "solver_work_items",
+    "pointsto.",
+    "datalog.",
+    "datalog_tuples_derived",
+    "datalog_strata",
+    "provenance_tuples_recorded",
+    "provenance_candidates_seen",
+    "provenance_glue_events",
+    "db.",                  # tombstoned slots change byte accounting
+    "snapshot_cache_hit",
+)
+
+INCREMENTAL = False
+
 
 def is_volatile(key: str) -> bool:
-    return any(s in key for s in VOLATILE_SUBSTRINGS)
+    if any(s in key for s in VOLATILE_SUBSTRINGS):
+        return True
+    return INCREMENTAL and any(
+        s in key for s in INCREMENTAL_VOLATILE_SUBSTRINGS)
 
 
 def load_benchmarks(path: str) -> dict:
@@ -48,10 +75,13 @@ def load_benchmarks(path: str) -> dict:
 
 
 def main(argv):
-    if len(argv) != 3:
+    global INCREMENTAL
+    args = [a for a in argv[1:] if a != "--incremental"]
+    INCREMENTAL = len(args) != len(argv) - 1
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    base_path, other_path = argv[1], argv[2]
+    base_path, other_path = args
     base = load_benchmarks(base_path)
     other = load_benchmarks(other_path)
 

@@ -78,16 +78,32 @@ const char *jackee::core::analysisErrorKindName(AnalysisErrorKind Kind) {
     return "main-class-not-found";
   case AnalysisErrorKind::MainMethodNotFound:
     return "main-method-not-found";
+  case AnalysisErrorKind::InvalidDelta:
+    return "invalid-delta";
   }
   return "?";
 }
 
-Metrics AnalysisResult::value() const {
+namespace {
+
+[[noreturn]] void fatalAnalysisError(const AnalysisError &Err) {
+  std::fprintf(stderr, "fatal analysis error [%s]: %s\n",
+               analysisErrorKindName(Err.Kind), Err.Message.c_str());
+  std::exit(1);
+}
+
+} // namespace
+
+Metrics AnalysisResult::value() const & {
   if (ok())
     return *Value;
-  std::fprintf(stderr, "fatal analysis error [%s]: %s\n",
-               analysisErrorKindName(Err->Kind), Err->Message.c_str());
-  std::exit(1);
+  fatalAnalysisError(*Err);
+}
+
+Metrics AnalysisResult::value() && {
+  if (ok())
+    return *std::move(Value);
+  fatalAnalysisError(*Err);
 }
 
 AnalysisResult jackee::core::runAnalysis(const Application &App,
@@ -99,10 +115,8 @@ AnalysisResult jackee::core::runAnalysis(const Application &App,
   // once, so the wrapper session runs cache-less — byte-for-byte the old
   // build-everything-inline pipeline, minus the asserts.
   SessionOptions SO;
+  static_cast<EngineOptions &>(SO) = Options;
   SO.Jobs = 1;
-  SO.DatalogThreads = Options.DatalogThreads;
-  SO.SolverThreads = Options.SolverThreads;
-  SO.Plan = Options.Plan;
   SO.SnapshotCache = false;
   SO.MockOptions = MockOptions;
   AnalysisSession Session(SO);

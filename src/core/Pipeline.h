@@ -173,8 +173,12 @@ struct Metrics {
   }
 };
 
-/// Cross-cutting pipeline knobs (as opposed to per-analysis configuration).
-struct PipelineOptions {
+/// Cross-cutting engine knobs (as opposed to per-analysis configuration),
+/// shared by the one-shot `runAnalysis` wrapper and `SessionOptions` (which
+/// inherits them). Environment-variable fallbacks follow one precedence
+/// rule, implemented in support/Env.h: explicit option > env var > hardware
+/// default.
+struct EngineOptions {
   /// Worker threads for Datalog rule evaluation. 0 resolves the
   /// `JACKEE_THREADS` environment variable, falling back to
   /// `hardware_concurrency`; 1 forces the sequential engine.
@@ -192,6 +196,9 @@ struct PipelineOptions {
   unsigned SolverThreads = 0;
 };
 
+/// Historical name of the one-shot wrapper's knobs; same struct.
+using PipelineOptions = EngineOptions;
+
 /// What can go wrong assembling and running an analysis. These used to be
 /// `assert`s inside the pipeline — silent wrong results in Release builds;
 /// now every failure mode is a first-class, testable outcome.
@@ -201,6 +208,8 @@ enum class AnalysisErrorKind {
   Stratification,     ///< the combined rule set has unstratifiable negation
   MainClassNotFound,  ///< `Application::MainClass` names no type
   MainMethodNotFound, ///< the main class has no `main()` method
+  InvalidDelta,       ///< an `AnalysisCell::update` delta names unknown or
+                      ///< un-retractable entities (see Session.h)
 };
 
 /// Stable display name ("config-parse", "stratification", ...).
@@ -243,7 +252,10 @@ public:
   /// The metrics on success; on failure prints the diagnostic to stderr
   /// and exits. For drivers where an analysis failure is unrecoverable —
   /// unlike the old `assert`s, the failure is loud in every build type.
-  Metrics value() const;
+  /// The lvalue overload copies; on an rvalue (`run(...).value()`) the
+  /// metrics are moved out instead — `Observed` can be sizable.
+  Metrics value() const &;
+  Metrics value() &&;
 
 private:
   std::optional<Metrics> Value;

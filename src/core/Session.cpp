@@ -7,14 +7,15 @@
 #include "core/Session.h"
 
 #include "datalog/Database.h"
+#include "support/Env.h"
 #include "support/WorkQueue.h"
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -32,7 +33,8 @@ double secondsSince(Clock::time_point Start) {
 }
 
 /// Fills the static (program-shape) metric denominators and the dynamic
-/// (analysis-result) numerators.
+/// (analysis-result) numerators. Retracted entities are skipped so the
+/// static denominators of an updated cell match the from-scratch baseline.
 void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
   // Completeness.
   for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
@@ -60,7 +62,8 @@ void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
   std::unordered_set<uint32_t> AppVirtualInvokes;
   for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
     const Method &Meth = P.method(MethodId(MI));
-    if (!P.type(Meth.DeclaringType).IsApplication)
+    const Type &Decl = P.type(Meth.DeclaringType);
+    if (Meth.IsRetracted || Decl.IsRetracted || !Decl.IsApplication)
       continue;
     for (const Statement &Stmt : Meth.Statements)
       if (Stmt.Op == Opcode::VirtualCall) {
@@ -77,7 +80,8 @@ void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
   // target type under any context instance.
   for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
     const Method &Meth = P.method(MethodId(MI));
-    if (!P.type(Meth.DeclaringType).IsApplication)
+    const Type &Decl = P.type(Meth.DeclaringType);
+    if (Meth.IsRetracted || Decl.IsRetracted || !Decl.IsApplication)
       continue;
     for (const Statement &Stmt : Meth.Statements)
       if (Stmt.Op == Opcode::Cast)
@@ -111,15 +115,401 @@ void collectMetrics(Metrics &M, const Program &P, const Solver &S) {
 
 } // namespace
 
-unsigned AnalysisSession::defaultJobCount() {
-  if (const char *Env = std::getenv("JACKEE_JOBS")) {
-    char *End = nullptr;
-    long Value = std::strtol(Env, &End, 10);
-    if (End != Env && *End == '\0' && Value >= 1 && Value <= 256)
-      return static_cast<unsigned>(Value);
+//===----------------------------------------------------------------------===//
+// AnalysisCell
+//===----------------------------------------------------------------------===//
+
+AnalysisCell::~AnalysisCell() = default;
+
+const datalog::RuleSet &AnalysisCell::rules() const { return FM->rules(); }
+
+void AnalysisCell::finishMetrics(Metrics &M) {
+  Program &P = *Prog;
+  Solver &S = *Solver_;
+  {
+    observe::Span CollectSpan(Trace, "collect-metrics", "session");
+    collectMetrics(M, P, S);
   }
-  unsigned HW = std::thread::hardware_concurrency();
-  return std::clamp(HW, 1u, 256u);
+  M.EntryPointsExercised = FM->stats().EntryPointsExercised;
+  M.BeansCreated = FM->stats().BeansCreated;
+  M.InjectionsApplied = FM->stats().InjectionsApplied;
+  if (const datalog::Evaluator::Stats *ES = FM->evaluatorStats()) {
+    M.DatalogThreads = ES->Threads;
+    M.DatalogTuplesDerived = ES->TuplesDerived;
+    M.DatalogStrata = ES->StratumCount;
+    double Wall = 0, Busy = 0;
+    for (const datalog::Evaluator::StratumStats &SS : ES->Strata) {
+      Wall += SS.WallSeconds;
+      Busy += SS.WorkerBusySeconds;
+    }
+    M.DatalogUtilization =
+        Wall > 0 && ES->Threads > 1 ? Busy / (Wall * ES->Threads) : 0.0;
+  }
+  // Fold the cell's registry into the exported metrics. The gauges set
+  // here are end-of-cell state; everything else accumulated during
+  // evaluation.
+  Registry->set("db.relation_bytes", static_cast<double>(DB->bytes()));
+  Registry->set("db.index_bytes", static_cast<double>(DB->indexBytes()));
+  Registry->set("process.peak_rss_bytes",
+                static_cast<double>(observe::processPeakRssBytes()));
+  for (const observe::MetricsRegistry::Sample &Sample : Registry->snapshot())
+    M.Observed.emplace_back(Sample.Name, Sample.Value);
+
+  if (Recorder) {
+    M.ProvenanceEnabled = true;
+    M.ProvenanceTuplesRecorded = Recorder->stats().TuplesRecorded;
+    M.ProvenanceCandidatesSeen = Recorder->stats().CandidatesSeen;
+    M.ProvenanceGlueEvents =
+        static_cast<uint32_t>(Recorder->glueEvents().size());
+  }
+}
+
+std::vector<provenance::DerivationNode>
+AnalysisCell::explain(std::string_view Query, std::string &Error) const {
+  provenance::Explainer E(*DB, FM->rules(), *Recorder);
+  return E.explainQuery(Query, Error);
+}
+
+std::string AnalysisCell::explainText(std::string_view Query,
+                                      std::string &Error) const {
+  std::string Out;
+  for (const provenance::DerivationNode &N : explain(Query, Error))
+    Out += provenance::Explainer::renderText(N);
+  return Out;
+}
+
+std::string AnalysisCell::canonicalDigest() const {
+  const Program &P = *Prog;
+  const Solver &S = *Solver_;
+  std::vector<std::string> Lines;
+
+  // Framework-created sites (mock/bean) are re-created by every re-solve
+  // and may land on different site ids than a from-scratch run; their
+  // labels ("<mock C>"/"<bean C>") are unique per class, so they name the
+  // object instead. Program sites are populate-created and id-stable.
+  auto siteKey = [&](AllocSiteId Site) {
+    const AllocSite &AS = P.allocSite(Site);
+    std::string Key{P.symbols().text(P.type(AS.ObjectType).Name)};
+    Key += '/';
+    if (AS.Kind == AllocKind::Mock || AS.Kind == AllocKind::Generated)
+      Key += P.symbols().text(AS.Label);
+    else
+      Key += "site#" + std::to_string(Site.rawValue());
+    return Key;
+  };
+
+  for (MethodId M : S.reachableMethods())
+    if (P.isAppConcreteMethod(M))
+      Lines.push_back("reach " + P.qualifiedName(M));
+
+  for (uint32_t VI = 0; VI != P.variableCount(); ++VI) {
+    VarId V(VI);
+    const Variable &Var = P.variable(V);
+    std::vector<AllocSiteId> Sites = S.varPointsToSites(V);
+    if (Sites.empty())
+      continue;
+    std::string Prefix = "vpt " + P.qualifiedName(Var.DeclaringMethod) +
+                         "." + std::string(P.symbols().text(Var.Name)) +
+                         " -> ";
+    for (AllocSiteId Site : Sites)
+      Lines.push_back(Prefix + siteKey(Site));
+  }
+
+  for (uint64_t Edge : S.callGraphEdges()) {
+    InvokeId Inv(static_cast<uint32_t>(Edge >> 32));
+    MethodId Callee(static_cast<uint32_t>(Edge));
+    const InvokeSite &Site = P.invokeSite(Inv);
+    Lines.push_back("cg " + P.qualifiedName(Site.Caller) + "#" +
+                    std::to_string(Site.StatementIndex) + " -> " +
+                    P.qualifiedName(Callee));
+  }
+
+  std::sort(Lines.begin(), Lines.end());
+  std::string Out;
+  for (const std::string &Line : Lines) {
+    Out += Line;
+    Out += '\n';
+  }
+  return Out;
+}
+
+AnalysisResult AnalysisCell::update(const CellDelta &Delta) {
+  Program &P = *Prog;
+  frameworks::FrameworkManager &FMRef = *FM;
+
+  auto Invalid = [&](std::string Msg) -> AnalysisResult {
+    return AnalysisError{AnalysisErrorKind::InvalidDelta,
+                         AppName + ": " + std::move(Msg)};
+  };
+  auto Poison = [&](AnalysisErrorKind K, std::string Msg) -> AnalysisResult {
+    Poisoned = true;
+    return AnalysisError{K, AppName + ": " + std::move(Msg) +
+                                " (cell is no longer usable)"};
+  };
+  if (Poisoned)
+    return Invalid("update on a poisoned cell (a previous delta failed "
+                   "mid-apply)");
+  if (Delta.empty())
+    return Current;
+
+  // --- Validate every name before mutating anything, so the common
+  // errors (typos, double retractions) leave the cell untouched — and
+  // uncounted by `updateCount()`.
+  for (const std::string &Name : Delta.RetractClasses)
+    if (!P.findType(Name).isValid())
+      return Invalid("retract of unknown class '" + Name + "'");
+  for (const auto &[Cls, MethName] : Delta.RetractMethods) {
+    TypeId T = P.findType(Cls);
+    if (!T.isValid())
+      return Invalid("retract of method on unknown class '" + Cls + "'");
+    bool AnyLive = false;
+    for (MethodId MId : P.type(T).Methods)
+      AnyLive |= !P.method(MId).IsRetracted &&
+                 P.symbols().text(P.method(MId).Name) == MethName;
+    if (!AnyLive)
+      return Invalid("no live method '" + MethName + "' on '" + Cls + "'");
+  }
+  for (const std::string &File : Delta.RetractConfigs)
+    if (!FMRef.hasConfigXml(File))
+      return Invalid("retract of unregistered config '" + File + "'");
+  std::vector<std::pair<std::string, xml::Document>> NewDocs;
+  for (const auto &[Name, Text] : Delta.AddConfigs) {
+    xml::ParseResult PR = xml::Parser::parse(Text);
+    if (!PR.ok())
+      return AnalysisError{AnalysisErrorKind::ConfigParse,
+                           AppName + "/" + Name + ": " + PR.Error};
+    NewDocs.emplace_back(Name, std::move(*PR.Doc));
+  }
+
+  ++Updates;
+  observe::Span UpdateSpan(Trace, "cell-update", "session");
+  UpdateSpan.arg("app", AppName);
+  UpdateSpan.arg("update", Updates);
+
+  Metrics M;
+  M.App = AppName;
+  M.Analysis = analysisName(Kind);
+
+  // --- Classify. Config-only insertions are monotone — keep the solver
+  // and let the fixpoint grow — *unless* a new config mentions a class
+  // whose abstract object already exists: a mock becoming a bean changes
+  // the object's kind (non-monotone), which forces the reset path.
+  bool HasRetraction = !Delta.RetractConfigs.empty() ||
+                       !Delta.RetractClasses.empty() ||
+                       !Delta.RetractMethods.empty();
+  bool Warm = !HasRetraction && !Delta.AddCode;
+  for (const auto &[Name, Doc] : NewDocs) {
+    if (!Warm)
+      break;
+    auto Mentions = [&](const std::string &Value) {
+      TypeId T = P.findType(Value);
+      return T.isValid() && FMRef.hasClassObject(T);
+    };
+    for (const xml::Element &E : Doc.elements()) {
+      for (const xml::Attribute &A : E.Attributes)
+        if (Mentions(A.Value))
+          Warm = false;
+      if (!E.Text.empty() && Mentions(E.Text))
+        Warm = false;
+    }
+  }
+  UpdateSpan.arg("mode", Warm ? "warm" : "reset");
+
+  // Per-update metrics registry: `Solver::publishMetrics` and the
+  // evaluator add into whatever registry is bound, so reusing the open()
+  // registry would double-count gauges.
+  Registry = std::make_unique<observe::MetricsRegistry>();
+  FMRef.rebindMetricsRegistry(Registry.get());
+  // New base facts (configs, delta extraction) attribute to this epoch.
+  Recorder->beginEpoch("update " + std::to_string(Updates));
+
+  auto SolveStart = Clock::now();
+  if (Warm) {
+    Solver_->setMetricsRegistry(Registry.get());
+    for (const auto &[Name, Text] : Delta.AddConfigs)
+      if (std::string Err = FMRef.addConfigXml(Name, Text); !Err.empty())
+        return Poison(AnalysisErrorKind::ConfigParse,
+                      Name + ": " + Err);
+    // Monotone growth: the next plugin round evaluates the new facts and
+    // the solver extends the existing fixpoint. Glue dedup sets prevent
+    // double-application, so cumulative framework stats still match a
+    // from-scratch run.
+    Solver_->solve();
+  } else {
+    // 1. The solver dies first: its reactions hold `ir::Statement`
+    //    pointers, and its values reference the framework-created
+    //    allocation sites about to be truncated.
+    Solver_.reset();
+    P.truncateAllocSites(AllocWatermark);
+
+    // 2. IR tombstones. Type ids are captured before `retractClass`
+    //    frees the name.
+    std::vector<TypeId> DeadTypes;
+    std::vector<MethodId> DeadMethods;
+    for (const std::string &Name : Delta.RetractClasses) {
+      TypeId T = P.findType(Name);
+      if (std::string Err = P.retractClass(Name); !Err.empty())
+        return Poison(AnalysisErrorKind::InvalidDelta, Err);
+      DeadTypes.push_back(T);
+    }
+    for (const auto &[Cls, MethName] : Delta.RetractMethods) {
+      TypeId T = P.findType(Cls);
+      for (MethodId MId : P.type(T).Methods)
+        if (!P.method(MId).IsRetracted &&
+            P.symbols().text(P.method(MId).Name) == MethName)
+          DeadMethods.push_back(MId);
+      if (std::string Err = P.retractMethod(Cls, MethName); !Err.empty())
+        return Poison(AnalysisErrorKind::InvalidDelta, Err);
+    }
+
+    // 3. Tombstone their base facts; the tombstoned (relation, tuple)
+    //    pairs seed the DRed support cone.
+    std::vector<std::pair<uint32_t, uint32_t>> Seeds =
+        FMRef.facts().retractEntityFacts(P, DeadTypes, DeadMethods);
+    for (const std::string &File : Delta.RetractConfigs)
+      if (std::string Err = FMRef.removeConfigXml(File, Seeds);
+          !Err.empty())
+        return Poison(AnalysisErrorKind::InvalidDelta, Err);
+
+    // 4. DRed over-deletion: every derived tuple whose recorded canonical
+    //    derivation is grounded in a tombstoned fact dies too; the
+    //    evaluator's naive seed round re-derives whatever is still
+    //    derivable. With negation in the rule set, *insertions* are
+    //    non-monotone as well — a tuple derived under ¬A dies when A
+    //    appears — so every tuple derived by a negating rule joins the
+    //    seed set on any reset update: over-deleting them is safe, since
+    //    re-derivation restores exactly the still-derivable ones.
+    std::vector<provenance::ProvenanceRecorder::TupleRef> ConeSeeds;
+    ConeSeeds.reserve(Seeds.size());
+    for (auto [Rel, Idx] : Seeds)
+      ConeSeeds.push_back({Rel, Idx});
+    const std::vector<datalog::Rule> &Rules = FMRef.rules().rules();
+    std::vector<bool> NegMask(Rules.size(), false);
+    bool AnyNegation = false;
+    for (size_t I = 0; I != Rules.size(); ++I)
+      for (const datalog::Atom &A : Rules[I].Body)
+        if (A.Negated)
+          NegMask[I] = AnyNegation = true;
+    std::vector<provenance::ProvenanceRecorder::TupleRef> NegSeeds;
+    if (AnyNegation)
+      NegSeeds = Recorder->tuplesDerivedBy(NegMask);
+    ConeSeeds.insert(ConeSeeds.end(), NegSeeds.begin(), NegSeeds.end());
+
+    std::vector<provenance::ProvenanceRecorder::TupleRef> Cone =
+        Recorder->supportCone(ConeSeeds);
+    // The negation-guard seeds are derived tuples themselves (the base
+    // seeds are already dead); retract them along with their cone.
+    Cone.insert(Cone.end(), NegSeeds.begin(), NegSeeds.end());
+    uint64_t ConeRetracted = 0;
+    for (const provenance::ProvenanceRecorder::TupleRef &Ref : Cone) {
+      datalog::Relation &R = DB->relation(datalog::RelationId(Ref.Rel));
+      if (!R.isLive(Ref.Index))
+        continue; // seed-set overlap
+      R.retract(Ref.Index);
+      Recorder->invalidate(Ref.Rel, Ref.Index);
+      ++ConeRetracted;
+    }
+    UpdateSpan.arg("base_retracted", Seeds.size());
+    UpdateSpan.arg("cone_retracted", ConeRetracted);
+
+    // 5. New code and configs; re-finalize (dispatch tables and subtype
+    //    bits honor the tombstones), then extract only the new entities.
+    if (Delta.AddCode)
+      Delta.AddCode(P, Lib, Fw);
+    P.finalize();
+    for (const auto &[Name, Text] : Delta.AddConfigs)
+      if (std::string Err = FMRef.addConfigXml(Name, Text); !Err.empty())
+        return Poison(AnalysisErrorKind::ConfigParse, Name + ": " + Err);
+    FMRef.facts().extractProgramDelta(P, Watermark);
+    Watermark = facts::Extractor::watermarkOf(P);
+    AllocWatermark = P.allocSiteCount();
+
+    // 6. Replay the framework/solver coupling against a fresh solver. The
+    //    evaluator's first run re-seeds every rule naively, so tombstoned
+    //    but still-derivable tuples come back (as fresh appends past the
+    //    delta watermark, cascading semi-naively), and the bean-wiring
+    //    glue — its cross-round progress forgotten — re-exercises entry
+    //    points and re-applies injections from scratch.
+    FMRef.resetForResolve();
+    pointsto::SolverConfig SC = solverConfig(Kind);
+    SC.Threads = SolverThreadsReq;
+    Solver_ = std::make_unique<Solver>(P, SC);
+    Solver_->setTracer(Trace);
+    Solver_->setMetricsRegistry(Registry.get());
+    Solver_->addPlugin(&FMRef);
+    SolveStart = Clock::now();
+    if (!MainClass.empty()) {
+      TypeId MainTy = P.findType(MainClass);
+      if (!MainTy.isValid())
+        return Poison(AnalysisErrorKind::MainClassNotFound,
+                      "main class '" + MainClass + "' not found");
+      MethodId Main = P.findMethod(MainTy, "main", {});
+      if (!Main.isValid())
+        return Poison(AnalysisErrorKind::MainMethodNotFound,
+                      "no main() on '" + MainClass + "'");
+      Solver_->makeReachable(Main, Solver_->contexts().empty());
+    }
+    Solver_->solve();
+  }
+  M.ElapsedSeconds = secondsSince(SolveStart);
+  M.SolverThreads = Solver_->config().Threads;
+
+  finishMetrics(M);
+  Current = std::move(M);
+  return Current;
+}
+
+//===----------------------------------------------------------------------===//
+// CellResult / applyDelta
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<AnalysisCell> CellResult::value() && {
+  if (!ok()) {
+    fprintf(stderr, "error: analysis failed [%s]: %s\n",
+            analysisErrorKindName(Err->Kind), Err->Message.c_str());
+    exit(1);
+  }
+  return std::move(Cell);
+}
+
+Application core::applyDelta(Application Base,
+                             std::vector<CellDelta> Deltas) {
+  auto Inner = std::move(Base.Populate);
+  Base.Populate = [Inner = std::move(Inner), Deltas = std::move(Deltas)](
+                      ir::Program &P, const javalib::JavaLib &Lib,
+                      const frameworks::FrameworkLib &Fw) {
+    std::vector<std::pair<std::string, std::string>> Configs =
+        Inner(P, Lib, Fw);
+    for (const CellDelta &D : Deltas) {
+      // Same application order as AnalysisCell::update, so both paths
+      // assign identical entity ids. Retraction diagnostics are dropped:
+      // the live path already validated the same operations.
+      for (const std::string &Name : D.RetractClasses)
+        (void)P.retractClass(Name);
+      for (const auto &[Cls, Meth] : D.RetractMethods)
+        (void)P.retractMethod(Cls, Meth);
+      for (const std::string &File : D.RetractConfigs)
+        Configs.erase(std::remove_if(Configs.begin(), Configs.end(),
+                                     [&](const auto &C) {
+                                       return C.first == File;
+                                     }),
+                      Configs.end());
+      if (D.AddCode)
+        D.AddCode(P, Lib, Fw);
+      for (const auto &C : D.AddConfigs)
+        Configs.push_back(C);
+    }
+    return Configs;
+  };
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisSession
+//===----------------------------------------------------------------------===//
+
+unsigned AnalysisSession::defaultJobCount() {
+  return env::resolveWorkerCount(0, "JACKEE_JOBS");
 }
 
 AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
@@ -129,13 +519,9 @@ AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
                                        : (Jobs > 1 ? 1u : 0u);
   SolverCellThreads = Options.SolverThreads ? Options.SolverThreads
                                             : (Jobs > 1 ? 1u : 0u);
-  RecordProvenance = Options.Provenance;
-  if (!RecordProvenance)
-    if (const char *Env = std::getenv("JACKEE_PROVENANCE"))
-      RecordProvenance = std::string_view(Env) == "1" ||
-                         std::string_view(Env) == "true";
+  RecordProvenance = Options.Provenance || env::flagVar("JACKEE_PROVENANCE");
   bool TraceEnabled = Options.Trace;
-  if (const char *Env = std::getenv("JACKEE_TRACE"))
+  if (const char *Env = env::rawVar("JACKEE_TRACE"))
     if (std::string_view V(Env); !V.empty()) {
       TraceEnabled = true;
       if (V != "1" && V != "true")
@@ -181,35 +567,39 @@ AnalysisSession::snapshotFor(javalib::CollectionModel Model, bool &WasHit) {
   return *Cache.emplace(Model, std::move(Snap)).first->second;
 }
 
-AnalysisResult AnalysisSession::runCell(
-    const Application &App, AnalysisKind Kind,
-    std::optional<bool> HitOverride,
-    std::unique_ptr<CellProvenance> *Capture, uint32_t ParentSpan) {
+CellResult AnalysisSession::openCell(const Application &App,
+                                     AnalysisKind Kind, bool ForceProvenance,
+                                     std::optional<bool> HitOverride,
+                                     uint32_t ParentSpan) {
+  std::unique_ptr<AnalysisCell> Cell(new AnalysisCell());
+  Cell->AppName = App.Name;
+  Cell->MainClass = App.MainClass;
+  Cell->Kind = Kind;
+  Cell->DatalogThreads = CellThreads;
+  Cell->SolverThreadsReq = SolverCellThreads;
+  Cell->Trace = Trace.get();
+  Cell->Registry = std::make_unique<observe::MetricsRegistry>();
+  observe::MetricsRegistry &Registry = *Cell->Registry;
+
   Metrics M;
   M.App = App.Name;
   M.Analysis = analysisName(Kind);
   observe::Span CellSpan(Trace.get(), "cell", "session", ParentSpan);
   CellSpan.arg("app", M.App);
   CellSpan.arg("analysis", M.Analysis);
-  // Per-cell registry; its samples fold into `Metrics::Observed` below.
-  observe::MetricsRegistry Registry;
 
   // Base program: cloned from the snapshot cache, or built fresh.
-  std::unique_ptr<SymbolTable> Symbols;
-  std::unique_ptr<Program> Owned;
-  javalib::JavaLib Lib;
-  frameworks::FrameworkLib Fw;
   if (Options.SnapshotCache) {
     bool Hit = false;
     const Snapshot &Snap = snapshotFor(collectionModel(Kind), Hit);
     observe::Span CloneSpan(Trace.get(), "snapshot-clone", "session");
     auto CloneStart = Clock::now();
-    Symbols = Snap.Symbols->clone();
-    Owned = Snap.Base->clone(*Symbols);
+    Cell->Symbols = Snap.Symbols->clone();
+    Cell->Prog = Snap.Base->clone(*Cell->Symbols);
     M.SnapshotCloneSeconds = secondsSince(CloneStart);
     CloneSpan.end();
-    Lib = Snap.Lib;
-    Fw = Snap.Frameworks;
+    Cell->Lib = Snap.Lib;
+    Cell->Fw = Snap.Frameworks;
     M.SnapshotCacheHit = HitOverride.value_or(Hit);
     if (!M.SnapshotCacheHit)
       M.SnapshotBuildSeconds = Snap.BuildSeconds;
@@ -223,33 +613,31 @@ AnalysisResult AnalysisSession::runCell(
   } else {
     observe::Span BuildSpan(Trace.get(), "base-build", "session");
     auto BuildStart = Clock::now();
-    Symbols = std::make_unique<SymbolTable>();
-    Owned = std::make_unique<Program>(*Symbols);
-    Lib = javalib::buildJavaLibrary(*Owned, collectionModel(Kind));
-    Fw = frameworks::buildFrameworkLibrary(*Owned, Lib);
+    Cell->Symbols = std::make_unique<SymbolTable>();
+    Cell->Prog = std::make_unique<Program>(*Cell->Symbols);
+    Cell->Lib = javalib::buildJavaLibrary(*Cell->Prog, collectionModel(Kind));
+    Cell->Fw = frameworks::buildFrameworkLibrary(*Cell->Prog, Cell->Lib);
     M.SnapshotBuildSeconds = secondsSince(BuildStart);
   }
-  Program &P = *Owned;
+  Program &P = *Cell->Prog;
 
   // Application assembly. Every failure that used to be an `assert` is an
   // `AnalysisError` now.
   observe::Span PopulateSpan(Trace.get(), "populate", "session");
   auto PopulateStart = Clock::now();
   std::vector<std::pair<std::string, std::string>> Configs =
-      App.Populate(P, Lib, Fw);
+      App.Populate(P, Cell->Lib, Cell->Fw);
 
-  // The database lives on the heap so a provenance capture can take it
-  // with the rest of the cell state instead of copying relations.
-  auto OwnedDB = std::make_unique<datalog::Database>(P.symbols());
-  datalog::Database &DB = *OwnedDB;
-  frameworks::FrameworkManager FM(P, DB, Options.MockOptions, CellThreads,
-                                  Options.Plan);
+  Cell->DB = std::make_unique<datalog::Database>(P.symbols());
+  Cell->FM = std::make_unique<frameworks::FrameworkManager>(
+      P, *Cell->DB, Options.MockOptions, CellThreads, Options.Plan);
+  frameworks::FrameworkManager &FM = *Cell->FM;
   FM.setTracer(Trace.get());
   FM.setMetricsRegistry(&Registry);
-  std::unique_ptr<provenance::ProvenanceRecorder> Recorder;
-  if (RecordProvenance || Capture) {
-    Recorder = std::make_unique<provenance::ProvenanceRecorder>(DB, FM.rules());
-    FM.setProvenance(Recorder.get());
+  if (ForceProvenance || RecordProvenance) {
+    Cell->Recorder = std::make_unique<provenance::ProvenanceRecorder>(
+        *Cell->DB, FM.rules());
+    FM.setProvenance(Cell->Recorder.get());
   }
   if (usesBaselineRulesOnly(Kind))
     FM.addServletBaselineOnly();
@@ -268,10 +656,13 @@ AnalysisResult AnalysisSession::runCell(
   if (std::string Err = FM.prepare(); !Err.empty())
     return AnalysisError{AnalysisErrorKind::Stratification,
                          App.Name + ": " + Err};
+  Cell->Watermark = facts::Extractor::watermarkOf(P);
+  Cell->AllocWatermark = P.allocSiteCount();
 
   pointsto::SolverConfig SC = solverConfig(Kind);
   SC.Threads = SolverCellThreads;
-  Solver S(P, SC);
+  Cell->Solver_ = std::make_unique<Solver>(P, SC);
+  Solver &S = *Cell->Solver_;
   S.setTracer(Trace.get());
   S.setMetricsRegistry(&Registry);
   S.addPlugin(&FM);
@@ -300,67 +691,21 @@ AnalysisResult AnalysisSession::runCell(
   SolveSpan.arg("rounds", S.stats().PluginRounds);
   SolveSpan.end();
 
-  {
-    observe::Span CollectSpan(Trace.get(), "collect-metrics", "session");
-    collectMetrics(M, P, S);
-  }
-  M.EntryPointsExercised = FM.stats().EntryPointsExercised;
-  M.BeansCreated = FM.stats().BeansCreated;
-  M.InjectionsApplied = FM.stats().InjectionsApplied;
-  if (const datalog::Evaluator::Stats *ES = FM.evaluatorStats()) {
-    M.DatalogThreads = ES->Threads;
-    M.DatalogTuplesDerived = ES->TuplesDerived;
-    M.DatalogStrata = ES->StratumCount;
-    double Wall = 0, Busy = 0;
-    for (const datalog::Evaluator::StratumStats &SS : ES->Strata) {
-      Wall += SS.WallSeconds;
-      Busy += SS.WorkerBusySeconds;
-    }
-    M.DatalogUtilization =
-        Wall > 0 && ES->Threads > 1 ? Busy / (Wall * ES->Threads) : 0.0;
-  }
-  // Fold the cell's registry into the exported metrics. The gauges set
-  // here are end-of-cell state; everything else accumulated during
-  // evaluation.
-  Registry.set("db.relation_bytes", static_cast<double>(DB.bytes()));
-  Registry.set("db.index_bytes", static_cast<double>(DB.indexBytes()));
-  Registry.set("process.peak_rss_bytes",
-               static_cast<double>(observe::processPeakRssBytes()));
-  for (const observe::MetricsRegistry::Sample &Sample : Registry.snapshot())
-    M.Observed.emplace_back(Sample.Name, Sample.Value);
+  Cell->finishMetrics(M);
+  Cell->Current = std::move(M);
+  return CellResult(std::move(Cell));
+}
 
-  if (Recorder) {
-    M.ProvenanceEnabled = true;
-    M.ProvenanceTuplesRecorded = Recorder->stats().TuplesRecorded;
-    M.ProvenanceCandidatesSeen = Recorder->stats().CandidatesSeen;
-    M.ProvenanceGlueEvents =
-        static_cast<uint32_t>(Recorder->glueEvents().size());
-  }
-  if (Capture) {
-    auto Cell = std::make_unique<CellProvenance>();
-    Cell->Rules = FM.rules();
-    Cell->Symbols = std::move(Symbols);
-    Cell->Program = std::move(Owned);
-    Cell->DB = std::move(OwnedDB);
-    Cell->Recorder = std::move(Recorder);
-    // The recorder was created against the framework manager's rule set,
-    // which dies with this frame; re-point it at the capture's own copy.
-    Cell->Recorder->rebindRules(Cell->Rules);
-    *Capture = std::move(Cell);
-  }
-  return M;
+CellResult AnalysisSession::open(const Application &App, AnalysisKind Kind) {
+  return openCell(App, Kind, /*ForceProvenance=*/true, std::nullopt);
 }
 
 AnalysisResult AnalysisSession::run(const Application &App,
                                     AnalysisKind Kind) {
-  return runCell(App, Kind, std::nullopt);
-}
-
-AnalysisResult
-AnalysisSession::run(const Application &App, AnalysisKind Kind,
-                     std::unique_ptr<CellProvenance> &Capture) {
-  Capture.reset();
-  return runCell(App, Kind, std::nullopt, &Capture);
+  CellResult R = openCell(App, Kind, /*ForceProvenance=*/false, std::nullopt);
+  if (!R.ok())
+    return R.error();
+  return std::move(R->Current);
 }
 
 std::vector<AnalysisResult>
@@ -402,8 +747,12 @@ AnalysisSession::runMatrix(const std::vector<Application> &Apps,
     std::optional<bool> HitOverride;
     if (Options.SnapshotCache)
       HitOverride = !BuildsSnapshot[I];
-    Slots[I] = runCell(App, Kind, HitOverride, /*Capture=*/nullptr,
-                       MatrixSpan.id());
+    CellResult R = openCell(App, Kind, /*ForceProvenance=*/false,
+                            HitOverride, MatrixSpan.id());
+    if (R.ok())
+      Slots[I] = std::move(R->Current);
+    else
+      Slots[I] = R.error();
   };
 
   unsigned Workers =

@@ -1,11 +1,11 @@
-//===- Session.h - Cached snapshots + batch analysis driver -----*- C++ -*-===//
+//===- Session.h - Analysis cells + batch analysis driver -------*- C++ -*-===//
 //
 // Part of JackEE-CPP (PLDI'20 "Frameworks and Caches" reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// `AnalysisSession`: the batch analysis API underneath `runAnalysis`.
+/// `AnalysisSession`: the analysis-cell API underneath `runAnalysis`.
 ///
 /// The paper's evaluation (Section 5) is a *matrix* — every application
 /// run under several analysis configurations. The base program those cells
@@ -31,9 +31,16 @@
 ///    each collection model in result order, not to whichever worker
 ///    happened to get there first.
 ///
+///  - **Live cells.** `open(App, Kind)` runs a cell and *keeps it open* as
+///    an `AnalysisCell`: the symbol table, program, fact database, rule
+///    set, solver and provenance store stay live for post-hoc `explain()`
+///    queries and — the point of the design — incremental re-analysis via
+///    `AnalysisCell::update(CellDelta)`, which re-establishes the fixpoint
+///    after an edit without rebuilding the cell (DESIGN.md §12).
+///
 /// Failure modes (config parse errors, unstratifiable rules, missing main
-/// classes) surface as `AnalysisError`s through `AnalysisResult` instead
-/// of the old Release-silent `assert`s.
+/// classes) surface as `AnalysisError`s through `AnalysisResult` /
+/// `CellResult` instead of the old Release-silent `assert`s.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +50,7 @@
 #include "core/Pipeline.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
+#include "provenance/Explain.h"
 
 #include <map>
 #include <memory>
@@ -54,44 +62,32 @@ namespace jackee {
 namespace core {
 
 /// Session-wide knobs. Per-analysis configuration stays in `AnalysisKind`.
-struct SessionOptions {
+///
+/// The engine knobs (`DatalogThreads`, `SolverThreads`, `Plan`) are
+/// inherited from `EngineOptions` — one struct shared with `runAnalysis` —
+/// with a session-specific twist to the `0` default: when the session runs
+/// cells in parallel (`Jobs > 1`), per-cell thread counts default to 1 (the
+/// matrix is the parallelism — nesting a per-cell pool under every matrix
+/// worker would oversubscribe quadratically); otherwise the engines' own
+/// `JACKEE_THREADS`/`JACKEE_SOLVER_THREADS`/hardware defaults apply.
+struct SessionOptions : EngineOptions {
   /// Matrix workers for `runMatrix`. 0 resolves the `JACKEE_JOBS`
   /// environment variable, falling back to `hardware_concurrency`;
   /// 1 runs cells inline on the calling thread.
   unsigned Jobs = 0;
-
-  /// Datalog evaluation workers *per cell* (see `PipelineOptions`).
-  /// 0 picks a default: 1 when the session runs cells in parallel (the
-  /// matrix is the parallelism — nesting a per-cell pool under every
-  /// matrix worker would oversubscribe quadratically), otherwise the
-  /// evaluator's own `JACKEE_THREADS`/hardware default.
-  unsigned DatalogThreads = 0;
-
-  /// Points-to solver workers *per cell* (see `pointsto::SolverConfig::
-  /// Threads`). 0 picks the same default policy as `DatalogThreads`:
-  /// 1 when the session runs cells in parallel, otherwise the solver's own
-  /// `JACKEE_SOLVER_THREADS`/hardware default. The fixpoint is
-  /// bit-identical at every setting.
-  unsigned SolverThreads = 0;
-
-  /// Join-plan mode for Datalog rule evaluation in every cell. `Auto`
-  /// resolves the `JACKEE_PLAN` environment variable
-  /// ("textual"/"greedy"), defaulting to the greedy cost-guided planner;
-  /// results are bit-identical in either mode (see `datalog::PlanMode`).
-  datalog::PlanMode Plan = datalog::PlanMode::Auto;
 
   /// Cache and clone base-program snapshots. Disabling rebuilds the base
   /// program per cell (the pre-session behavior) — kept as an explicit
   /// mode so equivalence is testable and the cache win is measurable.
   bool SnapshotCache = true;
 
-  /// Record derivation provenance in every cell (see src/provenance/).
-  /// When false, the `JACKEE_PROVENANCE` environment variable ("1"/"true")
-  /// still enables it — the env-var path lets existing drivers measure
-  /// recording overhead without an API change. Recording costs memory and
-  /// a little time; `explain()` additionally needs the cell state captured
-  /// via the three-argument `run()` overload (which enables recording for
-  /// that cell regardless of this flag).
+  /// Record derivation provenance in every batch cell (see
+  /// src/provenance/). When false, the `JACKEE_PROVENANCE` environment
+  /// variable ("1"/"true") still enables it — the env-var path lets
+  /// existing drivers measure recording overhead without an API change.
+  /// Recording costs memory and a little time. Live cells opened with
+  /// `open()` always record: `update()` needs the derivation store for
+  /// its DRed support cone.
   bool Provenance = false;
 
   /// Collect spans for every phase the session drives (snapshot builds,
@@ -109,23 +105,193 @@ struct SessionOptions {
   frameworks::MockPolicyOptions MockOptions;
 };
 
-/// A finished cell's state, kept alive for post-hoc `explain()` queries:
-/// the symbol table and program the database symbols refer to, the fact
-/// database, the rule set provenance rule indexes point into, and the
-/// recorder holding the derivation store and glue-event audit trail. Feed
-/// `*DB`, `Rules`, and `*Recorder` to a `provenance::Explainer`.
-struct CellProvenance {
-  std::unique_ptr<SymbolTable> Symbols;
-  std::unique_ptr<ir::Program> Program;
-  std::unique_ptr<datalog::Database> DB;
-  datalog::RuleSet Rules;
-  std::unique_ptr<provenance::ProvenanceRecorder> Recorder;
+/// One incremental edit applied to a live `AnalysisCell`. Within one
+/// update the parts apply in a fixed order — class retractions, method
+/// retractions, config retractions, `AddCode`, config insertions — and
+/// `applyDelta` replays the identical order when building the from-scratch
+/// baseline, so both paths assign identical entity ids (the property the
+/// differential oracle's canonical dumps rest on).
+struct CellDelta {
+  /// Registered configuration file names to deregister.
+  std::vector<std::string> RetractConfigs;
+
+  /// Configuration files to register, as (file name, XML text) pairs.
+  std::vector<std::pair<std::string, std::string>> AddConfigs;
+
+  /// Fully qualified names of application classes to tombstone, along with
+  /// every method they declare. A class with live subtypes cannot be
+  /// retracted — list the subtypes first (the vector applies in order).
+  std::vector<std::string> RetractClasses;
+
+  /// (class name, simple method name) pairs; tombstones every live
+  /// overload of that name.
+  std::vector<std::pair<std::string, std::string>> RetractMethods;
+
+  /// Adds classes/methods/fields on top of the existing program, exactly
+  /// like `Application::Populate` (construction may only *add* entities —
+  /// never mutate existing ones). Configuration files have no analogue
+  /// here; use `AddConfigs`.
+  std::function<void(ir::Program &, const javalib::JavaLib &,
+                     const frameworks::FrameworkLib &)>
+      AddCode;
+
+  bool empty() const {
+    return RetractConfigs.empty() && AddConfigs.empty() &&
+           RetractClasses.empty() && RetractMethods.empty() && !AddCode;
+  }
 };
 
-/// A cache of base-program snapshots plus a parallel batch driver.
-/// Sessions are self-contained and thread-safe with respect to their own
-/// workers; a single session must not be driven from multiple external
-/// threads concurrently.
+/// A live analysis cell: the complete state of one (application, analysis)
+/// run — symbol table, program, fact database, rule set, evaluator, solver
+/// and provenance store — held open after the fixpoint for derivation
+/// queries and incremental re-analysis. Obtained from
+/// `AnalysisSession::open`; the session must outlive its cells (a cell
+/// borrows the session's tracer).
+///
+/// `update(Delta)` re-establishes the analysis fixpoint after an edit
+/// without rebuilding the cell (DESIGN.md §12). Retracted entities'
+/// base facts are tombstoned in place, every derived tuple whose recorded
+/// canonical derivation transitively depends on one is tombstoned too
+/// (DRed-style over-deletion through the provenance support cone), and the
+/// framework/solver coupling re-runs — the Datalog evaluator's naive seed
+/// round re-derives everything still derivable, and the bean-wiring glue
+/// replays against a fresh solver. The resulting points-to sets, call
+/// graph and semantic metrics are bit-identical to analyzing the edited
+/// application from scratch (see `applyDelta`); effort counters (rounds,
+/// work items, tuples derived) legitimately differ.
+class AnalysisCell {
+public:
+  ~AnalysisCell();
+  AnalysisCell(const AnalysisCell &) = delete;
+  AnalysisCell &operator=(const AnalysisCell &) = delete;
+
+  /// Metrics of the most recent fixpoint (the `open()` run, or the last
+  /// successful `update()`).
+  const Metrics &metrics() const { return Current; }
+
+  /// Applies \p Delta and re-solves. On success returns the new metrics
+  /// (also retained in `metrics()`). Unknown entity/config names return
+  /// `AnalysisErrorKind::InvalidDelta` with the cell untouched; a
+  /// constraint failure discovered mid-apply (e.g. retracting a class
+  /// whose subtypes are live) also returns `InvalidDelta` but leaves the
+  /// cell unusable — open a fresh cell.
+  AnalysisResult update(const CellDelta &Delta);
+
+  /// Derivation trees for every live tuple matching \p Query
+  /// (`Rel("a", _, b)` syntax — see provenance/Explain.h). On a parse or
+  /// lookup error returns empty and sets \p Error.
+  std::vector<provenance::DerivationNode> explain(std::string_view Query,
+                                                  std::string &Error) const;
+
+  /// `explain()` rendered as indented text, trees concatenated in tuple
+  /// order.
+  std::string explainText(std::string_view Query, std::string &Error) const;
+
+  /// A canonical, entity-id-stable dump of the analysis result: sorted
+  /// lines for reachable application methods, context-insensitive
+  /// variable points-to (site identity spelled via populate-stable ids
+  /// for program sites and unique labels for framework-created objects),
+  /// and call-graph edges. Equal cell states — e.g. an updated cell vs. a
+  /// from-scratch run of `applyDelta` — produce byte-identical dumps at
+  /// any thread-count setting. The differential oracle of the incremental
+  /// tests and CI.
+  std::string canonicalDigest() const;
+
+  /// Number of `update()` calls that have been applied.
+  uint32_t updateCount() const { return Updates; }
+
+  /// \name Cell state accessors (what `CellProvenance` used to hand out)
+  /// @{
+  const ir::Program &program() const { return *Prog; }
+  const datalog::Database &database() const { return *DB; }
+  const datalog::RuleSet &rules() const;
+  const provenance::ProvenanceRecorder &recorder() const { return *Recorder; }
+  const pointsto::Solver &solver() const { return *Solver_; }
+  /// @}
+
+private:
+  friend class AnalysisSession;
+  AnalysisCell() = default;
+
+  /// Shared tail of open/update: semantic + effort metrics off the current
+  /// fixpoint, registry fold, provenance stats.
+  void finishMetrics(Metrics &M);
+
+  // Identity / configuration (immutable after open).
+  std::string AppName;
+  std::string MainClass;
+  AnalysisKind Kind = AnalysisKind::CI;
+  unsigned DatalogThreads = 0;
+  unsigned SolverThreadsReq = 0;
+  observe::Tracer *Trace = nullptr; ///< session-owned; may be null
+
+  // Cell state. Declaration order is destruction-order-critical (members
+  // destroy in reverse): the solver dies before the framework manager it
+  // references, the recorder before the rule set (inside FM) and database
+  // it indexes, the database before the symbol table.
+  std::unique_ptr<SymbolTable> Symbols;
+  std::unique_ptr<ir::Program> Prog;
+  javalib::JavaLib Lib;
+  frameworks::FrameworkLib Fw;
+  std::unique_ptr<observe::MetricsRegistry> Registry; ///< fresh per update
+  std::unique_ptr<datalog::Database> DB;
+  std::unique_ptr<frameworks::FrameworkManager> FM;
+  std::unique_ptr<provenance::ProvenanceRecorder> Recorder;
+  std::unique_ptr<pointsto::Solver> Solver_;
+
+  // Update bookkeeping.
+  facts::ProgramWatermark Watermark;  ///< entity tables at last extraction
+  uint32_t AllocWatermark = 0;        ///< alloc sites before solving (the
+                                      ///< rest are framework-created)
+  uint32_t Updates = 0;
+  bool Poisoned = false; ///< a mid-apply failure left the cell inconsistent
+  Metrics Current;
+};
+
+/// Outcome of `AnalysisSession::open`: a live cell or an `AnalysisError`.
+/// Mirrors `AnalysisResult`'s tiny expected-style surface.
+class [[nodiscard]] CellResult {
+public:
+  /*implicit*/ CellResult(std::unique_ptr<AnalysisCell> C)
+      : Cell(std::move(C)) {}
+  /*implicit*/ CellResult(AnalysisError E) : Err(std::move(E)) {}
+
+  bool ok() const { return Cell != nullptr; }
+  explicit operator bool() const { return ok(); }
+
+  AnalysisCell &operator*() {
+    assert(ok() && "dereferencing a failed CellResult");
+    return *Cell;
+  }
+  AnalysisCell *operator->() { return &**this; }
+
+  const AnalysisError &error() const {
+    assert(!ok() && "error() on a successful CellResult");
+    return *Err;
+  }
+
+  /// The cell on success; on failure prints the diagnostic to stderr and
+  /// exits (the CLI-driver accessor, like `AnalysisResult::value`).
+  std::unique_ptr<AnalysisCell> value() &&;
+
+private:
+  std::unique_ptr<AnalysisCell> Cell;
+  std::optional<AnalysisError> Err;
+};
+
+/// The from-scratch equivalent of `open(App, Kind)` followed by
+/// `update(Deltas[0])`, `update(Deltas[1])`, ...: an application whose
+/// populate replays every delta, in the cell path's application order, on
+/// top of \p Base's populate. Entity ids and tombstoned table slots come
+/// out identical to the incremental path's, so `canonicalDigest()` dumps
+/// are directly comparable — the differential oracle used by the
+/// incremental tests and CI.
+Application applyDelta(Application Base, std::vector<CellDelta> Deltas);
+
+/// A cache of base-program snapshots, a parallel batch driver, and the
+/// factory for live `AnalysisCell`s. Sessions are self-contained and
+/// thread-safe with respect to their own workers; a single session must
+/// not be driven from multiple external threads concurrently.
 class AnalysisSession {
 public:
   explicit AnalysisSession(SessionOptions Options = {});
@@ -134,16 +300,15 @@ public:
   AnalysisSession(const AnalysisSession &) = delete;
   AnalysisSession &operator=(const AnalysisSession &) = delete;
 
-  /// Runs one (application, analysis) cell, reusing the cached snapshot
-  /// for the cell's collection model when the cache is enabled.
-  AnalysisResult run(const Application &App, AnalysisKind Kind);
+  /// Runs one (application, analysis) cell to its fixpoint and returns it
+  /// *live*, with provenance recording always on (updates need the
+  /// derivation store). The session must outlive the cell.
+  CellResult open(const Application &App, AnalysisKind Kind);
 
-  /// Like `run`, but records provenance (regardless of
-  /// `SessionOptions::Provenance`) and hands the cell's state to
-  /// \p Capture so the caller can answer `explain()` queries against the
-  /// finished analysis. On failure \p Capture is left null.
-  AnalysisResult run(const Application &App, AnalysisKind Kind,
-                     std::unique_ptr<CellProvenance> &Capture);
+  /// Runs one (application, analysis) cell batch-style, reusing the cached
+  /// snapshot for the cell's collection model when the cache is enabled.
+  /// Thin wrapper over `open` that keeps only the metrics.
+  AnalysisResult run(const Application &App, AnalysisKind Kind);
 
   /// Runs the full \p Apps × \p Kinds matrix across the session's job
   /// pool and returns one result per cell in app-major order
@@ -194,17 +359,17 @@ private:
   /// reports whether it already existed. Thread-safe.
   const Snapshot &snapshotFor(javalib::CollectionModel Model, bool &WasHit);
 
-  /// Runs one cell end to end. \p HitOverride, when set, replaces the
+  /// Builds and solves one cell end to end; the single code path under
+  /// both `open` (keeps the cell) and `run`/`runMatrix` (keep only
+  /// metrics). \p ForceProvenance overrides `SessionOptions::Provenance`
+  /// (live cells always record). \p HitOverride, when set, replaces the
   /// observed cache-hit flag — `runMatrix` uses it to attribute the miss
-  /// to the first cell of each model deterministically. \p Capture, when
-  /// non-null, forces provenance recording and receives the cell state.
-  /// \p ParentSpan explicitly parents the cell's span — `runMatrix` passes
-  /// the matrix span so cells running on worker threads still nest under
-  /// it (see `Tracer::beginSpan`).
-  AnalysisResult runCell(const Application &App, AnalysisKind Kind,
-                         std::optional<bool> HitOverride,
-                         std::unique_ptr<CellProvenance> *Capture = nullptr,
-                         uint32_t ParentSpan = observe::Tracer::NoSpan);
+  /// to the first cell of each model deterministically. \p ParentSpan
+  /// explicitly parents the cell's span — `runMatrix` passes the matrix
+  /// span so cells running on worker threads still nest under it.
+  CellResult openCell(const Application &App, AnalysisKind Kind,
+                      bool ForceProvenance, std::optional<bool> HitOverride,
+                      uint32_t ParentSpan = observe::Tracer::NoSpan);
 
   SessionOptions Options;
   unsigned Jobs = 1;        ///< resolved matrix worker count

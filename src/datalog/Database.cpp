@@ -63,6 +63,20 @@ uint32_t Relation::find(std::span<const Symbol> Tuple) const {
   return It == Dedup.end() ? NoTuple : *It;
 }
 
+void Relation::retract(uint32_t Index) {
+  assert(Index < size() && "retracting an out-of-range tuple");
+  if (Index < Dead.size() && Dead[Index])
+    return;
+  if (Dead.size() < size())
+    Dead.resize(size(), false);
+  Dead[Index] = true;
+  ++DeadCount;
+  // The dedup set hashes/compares through the stored tuple, so erasing by
+  // the stored index finds exactly this element. Index postings keep the
+  // slot; readers skip it via `isLive`.
+  Dedup.erase(Index);
+}
+
 uint64_t Relation::keyHashFor(const Index &Idx, const Symbol *Tuple) const {
   size_t Seed = 0xabcdefu;
   for (uint32_t Col : Idx.Columns)

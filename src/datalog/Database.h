@@ -38,6 +38,14 @@ using RelationId = Id<struct RelationTag>;
 ///
 /// Tuples are append-only and deduplicated; each tuple has a dense index, so
 /// `[From, To)` index ranges denote deltas during semi-naive evaluation.
+///
+/// Incremental updates (DRed, see DESIGN.md §12) *tombstone* tuples instead
+/// of erasing them: `retract(Index)` marks the slot dead and removes it from
+/// the dedup set, so the dense indexes that provenance records and column
+/// indexes hold stay stable, while `contains`/`find`/`insert` treat the
+/// tuple as absent. A retracted tuple that is re-derived is appended fresh
+/// at a new index — past the evaluator's delta watermark, so re-derivation
+/// cascades exactly like any other new tuple.
 class Relation {
 public:
   Relation(std::string Name, uint32_t Arity);
@@ -71,6 +79,24 @@ public:
   /// lifetime — it is what provenance records use as a tuple id. Same
   /// thread-safety contract as `contains`.
   uint32_t find(std::span<const Symbol> Tuple) const;
+
+  /// Tombstones the tuple at \p Index: it leaves the dedup set (so
+  /// `contains`/`find` miss it and `insert` of the same contents appends a
+  /// fresh copy) but keeps its storage slot and index entries, which join
+  /// readers skip via `isLive`. Idempotent.
+  void retract(uint32_t Index);
+
+  /// False once \p Index has been retracted.
+  bool isLive(uint32_t Index) const {
+    return Index >= Dead.size() || !Dead[Index];
+  }
+
+  /// Number of live (non-retracted) tuples. Equals `size()` until the
+  /// first retraction.
+  uint32_t liveSize() const { return size() - DeadCount; }
+
+  /// Number of tombstoned tuples.
+  uint32_t deadCount() const { return DeadCount; }
 
   /// The tuple at dense index \p Index (pointer into the flat store; valid
   /// until the next insertion).
@@ -160,6 +186,9 @@ private:
   static thread_local const Symbol *Probe;
   std::unordered_set<uint32_t, TupleHash, TupleEq> Dedup;
   std::vector<std::unique_ptr<Index>> Indexes;
+  std::vector<bool> Dead; ///< tombstones; lazily sized, empty until the
+                          ///< first `retract`
+  uint32_t DeadCount = 0;
 
   // Empty postings list returned for missing keys.
   static const std::vector<uint32_t> EmptyPostings;

@@ -6,11 +6,11 @@
 
 #include "datalog/Evaluator.h"
 
+#include "support/Env.h"
 #include "support/WorkQueue.h"
 
 #include <algorithm>
 #include <chrono>
-#include <cstdlib>
 #include <thread>
 
 using namespace jackee;
@@ -129,14 +129,7 @@ struct TupleLess {
 } // namespace
 
 unsigned Evaluator::defaultThreadCount() {
-  if (const char *Env = std::getenv("JACKEE_THREADS")) {
-    char *End = nullptr;
-    long Value = std::strtol(Env, &End, 10);
-    if (End != Env && *End == '\0' && Value >= 1 && Value <= 256)
-      return static_cast<unsigned>(Value);
-  }
-  unsigned HW = std::thread::hardware_concurrency();
-  return HW == 0 ? 1 : std::min(HW, 256u);
+  return env::resolveWorkerCount(0, "JACKEE_THREADS");
 }
 
 Evaluator::Evaluator(Database &DB, const RuleSet &Rules, unsigned Threads,
@@ -713,6 +706,14 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
     // Tries one candidate tuple: verify columns, bind free variables on the
     // trail, check this position's guards, recurse, then unwind the trail.
     auto tryTuple = [&](uint32_t TupleIdx) {
+      // Tombstoned by an incremental retraction (DESIGN.md §12): the slot
+      // still sits in the store and its index postings, but it must not
+      // witness any join. This single check covers both the postings walk
+      // and the range-scan fallback below; negation probes and the
+      // emit-side dedup go through `contains`/`find`, which already miss
+      // dead tuples.
+      if (!Rel.isLive(TupleIdx))
+        return;
       const Symbol *Tuple = Rel.tuple(TupleIdx);
       size_t Mark = S.Trail.size();
       bool Ok = true;

@@ -6,9 +6,10 @@
 
 #include "datalog/Rule.h"
 
+#include "support/Env.h"
+
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 
 using namespace jackee;
 using namespace jackee::datalog;
@@ -16,7 +17,7 @@ using namespace jackee::datalog;
 PlanMode jackee::datalog::resolvePlanMode(PlanMode Requested) {
   if (Requested != PlanMode::Auto)
     return Requested;
-  if (const char *Env = std::getenv("JACKEE_PLAN")) {
+  if (const char *Env = env::rawVar("JACKEE_PLAN")) {
     PlanMode Parsed;
     if (parsePlanMode(Env, Parsed))
       return Parsed;

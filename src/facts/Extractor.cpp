@@ -7,6 +7,7 @@
 #include "facts/Extractor.h"
 
 #include <charconv>
+#include <unordered_set>
 
 using namespace jackee;
 using namespace jackee::facts;
@@ -58,14 +59,26 @@ void Extractor::declareSchema() {
 }
 
 void Extractor::extractProgram(const Program &P) {
+  extractProgramDelta(P, ProgramWatermark{});
+}
+
+ProgramWatermark Extractor::watermarkOf(const Program &P) {
+  return {P.typeCount(), P.fieldCount(), P.methodCount(),
+          P.variableCount()};
+}
+
+void Extractor::extractProgramDelta(const Program &P,
+                                    const ProgramWatermark &From) {
   const SymbolTable &Symbols = P.symbols();
   auto typeName = [&](TypeId T) -> const std::string & {
     return Symbols.text(P.type(T).Name);
   };
 
-  for (uint32_t TI = 0; TI != P.typeCount(); ++TI) {
+  for (uint32_t TI = From.Types; TI != P.typeCount(); ++TI) {
     TypeId T(TI);
     const Type &Ty = P.type(T);
+    if (Ty.IsRetracted)
+      continue;
     const std::string &Name = typeName(T);
 
     switch (Ty.Kind) {
@@ -90,14 +103,19 @@ void Extractor::extractProgram(const Program &P) {
       fact("Class_Annotation", {Name, Symbols.text(Annotation)});
 
     // Subtype pairs from the finalized hierarchy (strict and reflexive).
+    // Type declaration order is supertype-first, so every pair a delta
+    // introduces has its *subtype* past the watermark — iterating new
+    // subtypes over all supertypes covers the delta.
     for (uint32_t SI = 0; SI != P.typeCount(); ++SI)
-      if (P.isSubtype(T, TypeId(SI)))
+      if (!P.type(TypeId(SI)).IsRetracted && P.isSubtype(T, TypeId(SI)))
         fact("SubtypeOf", {Name, typeName(TypeId(SI))});
   }
 
-  for (uint32_t FI = 0; FI != P.fieldCount(); ++FI) {
+  for (uint32_t FI = From.Fields; FI != P.fieldCount(); ++FI) {
     FieldId F(FI);
     const Field &Fld = P.field(F);
+    if (P.type(Fld.DeclaringType).IsRetracted)
+      continue;
     std::string FSym = encodeField(F);
     fact("Field_DeclaringType", {FSym, typeName(Fld.DeclaringType)});
     fact("Field_Name", {FSym, Symbols.text(Fld.Name)});
@@ -106,9 +124,11 @@ void Extractor::extractProgram(const Program &P) {
       fact("Field_Annotation", {FSym, Symbols.text(Annotation)});
   }
 
-  for (uint32_t MI = 0; MI != P.methodCount(); ++MI) {
+  for (uint32_t MI = From.Methods; MI != P.methodCount(); ++MI) {
     MethodId M(MI);
     const Method &Meth = P.method(M);
+    if (Meth.IsRetracted)
+      continue;
     std::string MSym = encodeMethod(M);
     fact("Method_DeclaringType", {MSym, typeName(Meth.DeclaringType)});
     fact("Method_SimpleName", {MSym, Symbols.text(Meth.Name)});
@@ -147,9 +167,11 @@ void Extractor::extractProgram(const Program &P) {
     }
   }
 
-  for (uint32_t VI = 0; VI != P.variableCount(); ++VI) {
+  for (uint32_t VI = From.Vars; VI != P.variableCount(); ++VI) {
     VarId V(VI);
     const Variable &Var = P.variable(V);
+    if (P.method(Var.DeclaringMethod).IsRetracted)
+      continue;
     std::string VSym = encodeVar(V);
     fact("Var_Type", {VSym, typeName(Var.DeclaredType)});
     fact("Var_DeclaringMethod", {VSym, encodeMethod(Var.DeclaringMethod)});
@@ -177,6 +199,132 @@ void Extractor::extractXml(const xml::Document &Doc,
     if (!E.Text.empty())
       fact("XMLNodeText", {FileName, std::to_string(Id), E.Text});
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental retraction (DESIGN.md §12)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Raw symbol values of the entity ids whose facts are being retracted.
+/// Entities that were never extracted (their encoded id was never
+/// interned) simply contribute nothing.
+struct SymSet {
+  std::unordered_set<uint32_t> Values;
+
+  void add(Symbol S) {
+    if (S.isValid())
+      Values.insert(S.rawValue());
+  }
+  void addText(const SymbolTable &Symbols, std::string_view Text) {
+    add(Symbols.lookup(Text));
+  }
+  bool contains(Symbol S) const { return Values.count(S.rawValue()) != 0; }
+};
+
+} // namespace
+
+std::vector<std::pair<uint32_t, uint32_t>> Extractor::retractEntityFacts(
+    const Program &P, std::span<const TypeId> RetractedTypes,
+    std::span<const MethodId> RetractedMethods) {
+  const SymbolTable &Symbols = DB.symbols();
+
+  // Close over ownership: a retracted type owns its fields and methods, a
+  // retracted method owns its variables and invocation sites.
+  SymSet TypeNames, FieldSyms, MethodSyms, VarSyms, InvokeSyms;
+  std::unordered_set<uint32_t> DeadMethods;
+  for (MethodId M : RetractedMethods)
+    DeadMethods.insert(M.index());
+  for (TypeId T : RetractedTypes) {
+    const Type &Ty = P.type(T);
+    TypeNames.add(Ty.Name);
+    for (FieldId F : Ty.Fields)
+      FieldSyms.addText(Symbols, encodeField(F));
+    for (MethodId M : Ty.Methods)
+      DeadMethods.insert(M.index());
+  }
+  for (uint32_t MI : DeadMethods)
+    MethodSyms.addText(Symbols, encodeMethod(MethodId(MI)));
+  for (uint32_t VI = 0; VI != P.variableCount(); ++VI)
+    if (DeadMethods.count(P.variable(VarId(VI)).DeclaringMethod.index()))
+      VarSyms.addText(Symbols, encodeVar(VarId(VI)));
+  for (uint32_t II = 0; II != P.invokeCount(); ++II)
+    if (DeadMethods.count(P.invokeSite(InvokeId(II)).Caller.index()))
+      InvokeSyms.addText(Symbols, encodeInvoke(InvokeId(II)));
+
+  std::vector<std::pair<uint32_t, uint32_t>> Seeds;
+  // Tombstones every live tuple of \p RelName whose listed column is in
+  // the corresponding set (a tuple matching several columns is retracted
+  // once).
+  auto retractWhere =
+      [&](std::string_view RelName,
+          std::initializer_list<std::pair<uint32_t, const SymSet *>> Cols) {
+        datalog::RelationId Id = DB.find(RelName);
+        if (!Id.isValid())
+          return;
+        datalog::Relation &R = DB.relation(Id);
+        for (uint32_t I = 0, E = R.size(); I != E; ++I) {
+          if (!R.isLive(I))
+            continue;
+          const Symbol *Tuple = R.tuple(I);
+          for (const auto &[Col, Set] : Cols)
+            if (Set->contains(Tuple[Col])) {
+              R.retract(I);
+              Seeds.emplace_back(Id.index(), I);
+              break;
+            }
+        }
+      };
+
+  // Owner columns mirror `extractProgramDelta`'s emission exactly.
+  retractWhere("ClassType", {{0, &TypeNames}});
+  retractWhere("InterfaceType", {{0, &TypeNames}});
+  retractWhere("ApplicationClass", {{0, &TypeNames}});
+  retractWhere("ConcreteApplicationClass", {{0, &TypeNames}});
+  retractWhere("Class_DefaultBeanId", {{0, &TypeNames}});
+  retractWhere("Class_Annotation", {{0, &TypeNames}});
+  retractWhere("SubtypeOf", {{0, &TypeNames}, {1, &TypeNames}});
+  retractWhere("Field_DeclaringType", {{0, &FieldSyms}});
+  retractWhere("Field_Name", {{0, &FieldSyms}});
+  retractWhere("Field_Type", {{0, &FieldSyms}});
+  retractWhere("Field_Annotation", {{0, &FieldSyms}});
+  retractWhere("Method_DeclaringType", {{0, &MethodSyms}});
+  retractWhere("Method_SimpleName", {{0, &MethodSyms}});
+  retractWhere("Method_Descriptor", {{0, &MethodSyms}});
+  retractWhere("ConcreteMethod", {{0, &MethodSyms}});
+  retractWhere("StaticMethod", {{0, &MethodSyms}});
+  retractWhere("Method_Annotation", {{0, &MethodSyms}});
+  retractWhere("FormalParam", {{1, &MethodSyms}});
+  retractWhere("CastInMethod", {{0, &MethodSyms}});
+  retractWhere("Var_Type", {{0, &VarSyms}});
+  retractWhere("Var_DeclaringMethod", {{0, &VarSyms}});
+  retractWhere("Invocation_InMethod", {{0, &InvokeSyms}});
+  retractWhere("ActualParam", {{1, &InvokeSyms}});
+  retractWhere("AssignReturnValue", {{0, &InvokeSyms}});
+  retractWhere("VirtualInvocation_SimpleName", {{0, &InvokeSyms}});
+  retractWhere("VirtualInvocation_Base", {{0, &InvokeSyms}});
+  return Seeds;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+Extractor::retractConfigFacts(std::string_view FileName) {
+  std::vector<std::pair<uint32_t, uint32_t>> Seeds;
+  Symbol FileSym = DB.symbols().lookup(FileName);
+  if (!FileSym.isValid())
+    return Seeds;
+  for (std::string_view RelName : {"XMLNode", "XMLNodeAttr", "XMLNodeText"}) {
+    datalog::RelationId Id = DB.find(RelName);
+    if (!Id.isValid())
+      continue;
+    datalog::Relation &R = DB.relation(Id);
+    for (uint32_t I = 0, E = R.size(); I != E; ++I)
+      if (R.isLive(I) && R.tuple(I)[0] == FileSym) {
+        R.retract(I);
+        Seeds.emplace_back(Id.index(), I);
+      }
+  }
+  return Seeds;
 }
 
 //===----------------------------------------------------------------------===//

@@ -26,11 +26,24 @@
 #include "ir/Program.h"
 #include "xml/Xml.h"
 
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace jackee {
 namespace facts {
+
+/// Entity-table sizes at a point in time; `extractProgramDelta` re-extracts
+/// only entities added past a watermark, so an incremental update inserts
+/// exactly the facts a fresh extraction of the grown program would add.
+struct ProgramWatermark {
+  uint32_t Types = 0;
+  uint32_t Fields = 0;
+  uint32_t Methods = 0;
+  uint32_t Vars = 0;
+};
 
 /// Declares the base-relation schema and fills it from a program and its
 /// configuration files. The database must share the program's symbol table.
@@ -42,7 +55,37 @@ public:
   void declareSchema();
 
   /// Extracts all program facts. Requires `P.finalize()` to have run.
+  /// Retracted entities (see `ir::Program::retractClass`) are skipped —
+  /// the from-scratch baseline of an edited program extracts exactly what
+  /// the delta path leaves live.
   void extractProgram(const ir::Program &P);
+
+  /// The watermark capturing \p P's current entity-table sizes.
+  static ProgramWatermark watermarkOf(const ir::Program &P);
+
+  /// Extracts facts only for entities added at or past \p From (plus the
+  /// subtype pairs the new types introduce). Entities never mutate after
+  /// creation, so extraction from the watermark inserts exactly the facts
+  /// full extraction of the grown program adds over the old one.
+  void extractProgramDelta(const ir::Program &P, const ProgramWatermark &From);
+
+  /// Tombstones every base fact owned by \p RetractedTypes (their own
+  /// facts, both `SubtypeOf` directions, and their fields' facts) or by a
+  /// retracted method (\p RetractedMethods plus every method of a
+  /// retracted type — closing over their variables and invocation sites).
+  /// Mirrors exactly the facts `extractProgram` skips for retracted
+  /// entities. \returns the tombstoned (relation index, tuple index)
+  /// pairs — the seeds of the DRed support cone.
+  std::vector<std::pair<uint32_t, uint32_t>>
+  retractEntityFacts(const ir::Program &P,
+                     std::span<const ir::TypeId> RetractedTypes,
+                     std::span<const ir::MethodId> RetractedMethods);
+
+  /// Tombstones every XMLNode/XMLNodeAttr/XMLNodeText fact of
+  /// configuration file \p FileName. \returns the tombstoned
+  /// (relation index, tuple index) pairs, as for `retractEntityFacts`.
+  std::vector<std::pair<uint32_t, uint32_t>>
+  retractConfigFacts(std::string_view FileName);
 
   /// Extracts one parsed XML configuration file as XMLNode/XMLNodeAttr/
   /// XMLNodeText facts. \p FileName becomes the file column.

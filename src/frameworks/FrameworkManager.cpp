@@ -61,7 +61,46 @@ std::string FrameworkManager::addConfigXml(std::string_view FileName,
   if (!Result.ok())
     return std::string(FileName) + ": " + Result.Error;
   Configs.emplace_back(std::string(FileName), std::move(*Result.Doc));
+  // On a prepared manager (incremental update) the bulk extraction already
+  // ran; extract the new file's facts now.
+  if (Prepared) {
+    observe::Span XmlSpan(Trace, "extract-xml", "frameworks");
+    XmlSpan.arg("file", Configs.back().first);
+    Facts.extractXml(Configs.back().second, Configs.back().first);
+  }
   return "";
+}
+
+std::string FrameworkManager::removeConfigXml(
+    std::string_view FileName,
+    std::vector<std::pair<uint32_t, uint32_t>> &Seeds) {
+  auto It = std::find_if(Configs.begin(), Configs.end(),
+                         [&](const auto &C) { return C.first == FileName; });
+  if (It == Configs.end())
+    return "removeConfigXml: no config named '" + std::string(FileName) + "'";
+  Configs.erase(It);
+  std::vector<std::pair<uint32_t, uint32_t>> Retracted =
+      Facts.retractConfigFacts(FileName);
+  Seeds.insert(Seeds.end(), Retracted.begin(), Retracted.end());
+  return "";
+}
+
+void FrameworkManager::resetForResolve() {
+  assert(Prepared && "resetForResolve is an update-path operation");
+  ClassObject.clear();
+  ExercisedMethods.clear();
+  AppliedInjections.clear();
+  AppliedMethodInjections.clear();
+  AppliedGetBeans.clear();
+  PendingConstructorTypes.clear();
+  FrameworkStats = Stats{};
+  WiringRound = 0;
+}
+
+void FrameworkManager::rebindMetricsRegistry(observe::MetricsRegistry *R) {
+  Registry = R;
+  if (Eval)
+    Eval->setMetricsRegistry(R);
 }
 
 std::string FrameworkManager::prepare() {
@@ -277,6 +316,8 @@ bool FrameworkManager::processEntryPoints(Solver &S) {
   RelationId Rel = DB.find("ExercisedEntryPoint");
   const datalog::Relation &R = DB.relation(Rel);
   for (uint32_t I = 0; I != R.size(); ++I) {
+    if (!R.isLive(I))
+      continue;
     const std::string &Text = DB.symbols().text(R.tuple(I)[0]);
     MethodId M = facts::Extractor::decodeMethod(Text);
     if (M.isValid())
@@ -290,7 +331,7 @@ bool FrameworkManager::processEntryPoints(Solver &S) {
     PendingConstructorTypes.pop_back();
     Symbol InitName = P.symbols().lookup("<init>");
     for (MethodId M : P.type(T).Methods)
-      if (P.method(M).Name == InitName)
+      if (P.method(M).Name == InitName && !P.method(M).IsRetracted)
         Changed |= exerciseEntryPoint(M, S);
   }
   return Changed;
@@ -301,6 +342,8 @@ bool FrameworkManager::processGeneratedObjects(Solver &S) {
   RelationId Rel = DB.find("GeneratedObjectClass");
   const datalog::Relation &R = DB.relation(Rel);
   for (uint32_t I = 0; I != R.size(); ++I) {
+    if (!R.isLive(I))
+      continue;
     const std::string &Name = DB.symbols().text(R.tuple(I)[0]);
     TypeId T = P.findType(Name);
     if (!T.isValid() || !P.type(T).isConcreteClass())
@@ -320,6 +363,8 @@ bool FrameworkManager::processInjections(Solver &S) {
   RelationId Rel = DB.find("BeanFieldInjection");
   const datalog::Relation &R = DB.relation(Rel);
   for (uint32_t I = 0; I != R.size(); ++I) {
+    if (!R.isLive(I))
+      continue;
     const Symbol *Tuple = R.tuple(I);
     TypeId Target = P.findType(DB.symbols().text(Tuple[0]));
     FieldId F = facts::Extractor::decodeField(DB.symbols().text(Tuple[1]));
@@ -356,6 +401,8 @@ bool FrameworkManager::processMethodInjections(Solver &S) {
   RelationId Rel = DB.find("BeanMethodInjection");
   const datalog::Relation &R = DB.relation(Rel);
   for (uint32_t I = 0; I != R.size(); ++I) {
+    if (!R.isLive(I))
+      continue;
     const Symbol *Tuple = R.tuple(I);
     TypeId Target = P.findType(DB.symbols().text(Tuple[0]));
     MethodId M = facts::Extractor::decodeMethod(DB.symbols().text(Tuple[1]));
@@ -406,6 +453,8 @@ bool FrameworkManager::processGetBean(Solver &S) {
   {
     const datalog::Relation &R = DB.relation(BeanIdRel);
     for (uint32_t I = 0; I != R.size(); ++I) {
+      if (!R.isLive(I))
+        continue;
       TypeId T = P.findType(DB.symbols().text(R.tuple(I)[0]));
       if (T.isValid() && P.type(T).isConcreteClass())
         BeanById.emplace(R.tuple(I)[1].rawValue(), T);
@@ -414,6 +463,8 @@ bool FrameworkManager::processGetBean(Solver &S) {
 
   const datalog::Relation &R = DB.relation(GetBeanRel);
   for (uint32_t I = 0; I != R.size(); ++I) {
+    if (!R.isLive(I))
+      continue;
     InvokeId Inv =
         facts::Extractor::decodeInvoke(DB.symbols().text(R.tuple(I)[0]));
     if (!Inv.isValid())

@@ -79,8 +79,25 @@ public:
   void addServletBaselineOnly();
 
   /// Parses and registers an XML configuration file (Spring beans, web.xml,
-  /// struts.xml). \returns empty string or the parse diagnostic.
+  /// struts.xml). \returns empty string or the parse diagnostic. Before
+  /// `prepare()` the facts are extracted by `prepare()`; called on a
+  /// prepared manager (an incremental update) the file's facts are
+  /// extracted immediately.
   std::string addConfigXml(std::string_view FileName, std::string_view Text);
+
+  /// Incremental update: deregisters configuration file \p FileName and
+  /// tombstones its XML facts, appending the tombstoned (relation, tuple)
+  /// pairs — DRed support-cone seeds — to \p Seeds. \returns empty string,
+  /// or a diagnostic when no such config is registered.
+  std::string removeConfigXml(std::string_view FileName,
+                              std::vector<std::pair<uint32_t, uint32_t>> &Seeds);
+
+  /// Incremental update: forgets all cross-round glue progress (mock/bean
+  /// objects, exercised entry points, applied injections and getBean
+  /// resolutions, wiring-round counter, stats) so the next solve replays
+  /// the framework reactions against a fresh solver. Rules, configs, the
+  /// evaluator and the fact database are kept.
+  void resetForResolve();
 
   /// Attaches \p R as the provenance sink: derivations of all rule
   /// evaluations are recorded, base facts are attributed to epochs
@@ -108,6 +125,32 @@ public:
   void setMetricsRegistry(observe::MetricsRegistry *R) {
     assert(!Prepared && "attach the registry before prepare()");
     Registry = R;
+  }
+
+  /// Re-points the metrics registry after `prepare()` — each incremental
+  /// update collects into a fresh registry so per-update gauges are not
+  /// double-counted. Forwards to the evaluator.
+  void rebindMetricsRegistry(observe::MetricsRegistry *R);
+
+  /// The fact extractor bound to this manager's database — the update path
+  /// drives `extractProgramDelta`/`retractEntityFacts` through it.
+  facts::Extractor &facts() { return Facts; }
+
+  /// True when the glue already materialized the per-class abstract object
+  /// for \p T (as a mock or a bean). The update path's warm-path check: a
+  /// new config that turns an existing *mock* into a *bean* is non-monotone
+  /// (the object's kind and label would change), so such deltas must take
+  /// the reset path.
+  bool hasClassObject(ir::TypeId T) const {
+    return ClassObject.count(T.rawValue()) != 0;
+  }
+
+  /// True when configuration file \p FileName is registered.
+  bool hasConfigXml(std::string_view FileName) const {
+    for (const auto &[Name, Doc] : Configs)
+      if (Name == FileName)
+        return true;
+    return false;
   }
 
   /// The registered rule set (vocabulary + frameworks); rule indexes in

@@ -315,6 +315,78 @@ AllocSiteId Program::addSyntheticObject(TypeId ObjectType, AllocKind Kind,
   return Site;
 }
 
+std::string Program::retractClass(std::string_view Name) {
+  TypeId T = findType(Name);
+  if (!T.isValid())
+    return "retractClass: no type named '" + std::string(Name) + "'";
+  // A live subtype would keep dispatching into the dead class's slots;
+  // require leaf-first retraction instead of silently corrupting dispatch.
+  // Checked structurally (not via AncestorBits) so retraction also works on
+  // a not-yet-finalized program — the from-scratch differential baseline
+  // replays deltas during populate.
+  auto Reaches = [&](uint32_t From, auto &&Self) -> bool {
+    if (From == T.index())
+      return true;
+    const Type &FromTy = Types[From];
+    if (FromTy.Superclass.isValid() &&
+        Self(FromTy.Superclass.index(), Self))
+      return true;
+    for (TypeId Iface : FromTy.Interfaces)
+      if (Self(Iface.index(), Self))
+        return true;
+    return false;
+  };
+  for (uint32_t I = 0; I != typeCount(); ++I) {
+    if (I == T.index() || Types[I].IsRetracted)
+      continue;
+    if (Reaches(I, Reaches))
+      return "retractClass: live type '" +
+             std::string(Symbols.text(Types[I].Name)) + "' still subtypes '" +
+             std::string(Name) + "'";
+  }
+  Type &Ty = type(T);
+  Ty.IsRetracted = true;
+  for (MethodId M : Ty.Methods)
+    method(M).IsRetracted = true;
+  // Free the name so a later delta can re-add it as a fresh type id.
+  TypeByName.erase(Ty.Name);
+  Finalized = false;
+  return "";
+}
+
+std::string Program::retractMethod(std::string_view ClassName,
+                                   std::string_view MethodName) {
+  TypeId T = findType(ClassName);
+  if (!T.isValid())
+    return "retractMethod: no type named '" + std::string(ClassName) + "'";
+  Symbol NameSym = Symbols.lookup(MethodName);
+  bool Any = false;
+  if (NameSym.isValid())
+    for (MethodId M : type(T).Methods) {
+      Method &Meth = method(M);
+      if (Meth.Name == NameSym && !Meth.IsRetracted) {
+        Meth.IsRetracted = true;
+        Any = true;
+      }
+    }
+  if (!Any)
+    return "retractMethod: no live method '" + std::string(MethodName) +
+           "' on '" + std::string(ClassName) + "'";
+  Finalized = false;
+  return "";
+}
+
+void Program::truncateAllocSites(uint32_t Watermark) {
+  assert(Watermark <= allocSiteCount() && "watermark past the site table");
+#ifndef NDEBUG
+  for (uint32_t I = Watermark; I != allocSiteCount(); ++I)
+    assert((Sites[I].Kind == AllocKind::Mock ||
+            Sites[I].Kind == AllocKind::Generated) &&
+           "truncating a program-statement allocation site");
+#endif
+  Sites.resize(Watermark);
+}
+
 std::unique_ptr<Program> Program::clone(SymbolTable &NewSymbols) const {
   assert(NewSymbols.size() >= Symbols.size() &&
          "clone target table must cover every symbol of the source");
@@ -394,7 +466,7 @@ void Program::finalize() {
     if (T.Superclass.isValid())
       Table = DispatchTables[T.Superclass.index()];
     for (MethodId M : T.Methods)
-      if (!method(M).IsStatic)
+      if (!method(M).IsStatic && !method(M).IsRetracted)
         Table[method(M).SignatureKey] = M;
   }
 
@@ -428,7 +500,8 @@ MethodId Program::findMethod(TypeId T, std::string_view Name,
     return MethodId::invalid();
   for (MethodId M : type(T).Methods) {
     const Method &Meth = method(M);
-    if (Meth.Name == NameSym && Meth.ParamTypes == ParamTypes)
+    if (Meth.Name == NameSym && Meth.ParamTypes == ParamTypes &&
+        !Meth.IsRetracted)
       return M;
   }
   return MethodId::invalid();
@@ -486,5 +559,7 @@ std::string Program::qualifiedName(MethodId M) const {
 
 bool Program::isAppConcreteMethod(MethodId M) const {
   const Method &Meth = method(M);
-  return !Meth.IsAbstract && type(Meth.DeclaringType).IsApplication;
+  const Type &T = type(Meth.DeclaringType);
+  return !Meth.IsAbstract && !Meth.IsRetracted && !T.IsRetracted &&
+         T.IsApplication;
 }

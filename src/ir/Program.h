@@ -62,12 +62,16 @@ struct Type {
   /// paper's app-only metrics (Figure 4, Table 1) and the
   /// `ConcreteApplicationClass` input relation.
   bool IsApplication = false;
+  /// Tombstoned by `Program::retractClass` during an incremental update
+  /// (DESIGN.md §12). The table slot stays (ids are stable) but the type no
+  /// longer participates in dispatch, subtype lists or fact extraction.
+  bool IsRetracted = false;
   std::vector<Symbol> Annotations;
   std::vector<FieldId> Fields;
   std::vector<MethodId> Methods;
 
   bool isConcreteClass() const {
-    return Kind == TypeKind::Class && !IsAbstract;
+    return Kind == TypeKind::Class && !IsAbstract && !IsRetracted;
   }
 };
 
@@ -133,6 +137,9 @@ struct Method {
   TypeId ReturnType;        ///< invalid for void
   bool IsStatic = false;
   bool IsAbstract = false;
+  /// Tombstoned by `Program::retractClass`/`retractMethod` (DESIGN.md §12):
+  /// excluded from dispatch, lookup and fact extraction, slot retained.
+  bool IsRetracted = false;
   std::vector<Symbol> Annotations;
   Symbol SignatureKey;      ///< "name(T1,T2)" — the dynamic-dispatch key
 
@@ -274,6 +281,32 @@ public:
   /// Registers an analysis-created abstract object (mock/generated).
   AllocSiteId addSyntheticObject(TypeId ObjectType, AllocKind Kind,
                                  std::string_view Label);
+
+  // --- Incremental updates (DESIGN.md §12) ------------------------------
+
+  /// Tombstones the class or interface named \p Name and every method it
+  /// declares, and frees the name for a later re-add (the table slot
+  /// stays, so existing ids remain valid dead entries). Fails — returning
+  /// a non-empty diagnostic — when no such type exists, or when a live
+  /// type still subtypes it (retract subtypes first). Works on both
+  /// finalized and under-construction programs (the from-scratch baseline
+  /// replays retractions during populate); call `finalize()` again before
+  /// analyzing.
+  std::string retractClass(std::string_view Name);
+
+  /// Tombstones every live method named \p MethodName declared by class
+  /// \p ClassName (all overloads). Fails with a non-empty diagnostic when
+  /// the class or method is unknown. Call `finalize()` again before
+  /// analyzing.
+  std::string retractMethod(std::string_view ClassName,
+                            std::string_view MethodName);
+
+  /// Drops every allocation site at index >= \p Watermark. All of them
+  /// must be synthetic (Mock/Generated): the update path records the
+  /// site count after populate as the watermark, so everything past it
+  /// was created by the framework layer during solving and is rebuilt by
+  /// the re-solve.
+  void truncateAllocSites(uint32_t Watermark);
 
   /// Computes subtyping, dispatch tables and concrete-subtype lists. Must be
   /// called after construction and before analysis; may be called again

@@ -7,10 +7,10 @@
 #include "pointsto/Solver.h"
 
 #include "observe/Metrics.h"
+#include "support/Env.h"
 #include "support/WorkQueue.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <string_view>
 #include <thread>
 
@@ -26,16 +26,7 @@ namespace {
 /// resolves `JACKEE_THREADS`: environment variable first, then the
 /// hardware, clamped to [1, 256].
 unsigned resolveSolverThreads(unsigned Requested) {
-  if (Requested == 0) {
-    if (const char *Env = std::getenv("JACKEE_SOLVER_THREADS")) {
-      char *End = nullptr;
-      long Value = std::strtol(Env, &End, 10);
-      if (End != Env && *End == '\0' && Value >= 1 && Value <= 256)
-        return static_cast<unsigned>(Value);
-    }
-    Requested = std::thread::hardware_concurrency();
-  }
-  return std::clamp(Requested, 1u, 256u);
+  return env::resolveWorkerCount(Requested, "JACKEE_SOLVER_THREADS");
 }
 
 /// Rounds smaller than this run inline even at Threads > 1: two pool

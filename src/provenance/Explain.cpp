@@ -166,6 +166,8 @@ Explainer::explainQuery(std::string_view Query, std::string &Error) const {
   }
 
   for (uint32_t I = 0, E = R.size(); I != E; ++I) {
+    if (!R.isLive(I))
+      continue; // tombstoned by an incremental update
     if (!AllTuples) {
       const Symbol *T = R.tuple(I);
       bool Match = true;

@@ -9,6 +9,8 @@
 #include "datalog/Database.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace jackee;
 using namespace jackee::provenance;
@@ -106,6 +108,86 @@ ProvenanceRecorder::derivationOf(uint32_t Rel, uint32_t TupleIndex) const {
     return nullptr;
   uint32_t Slot = RecordOf[Rel][TupleIndex];
   return Slot == None ? nullptr : &Records[Slot];
+}
+
+namespace {
+
+uint64_t tupleKey(uint32_t Rel, uint32_t Index) {
+  return (static_cast<uint64_t>(Rel) << 32) | Index;
+}
+
+} // namespace
+
+std::vector<ProvenanceRecorder::TupleRef>
+ProvenanceRecorder::supportCone(std::span<const TupleRef> Seeds) const {
+  // Reverse adjacency: witness tuple -> heads whose canonical record cites
+  // it. Built per call by one pass over the record table — update() calls
+  // this once per delta, so there is nothing to keep incremental here.
+  std::unordered_map<uint64_t, std::vector<TupleRef>> Dependents;
+  for (uint32_t Rel = 0; Rel != RecordOf.size(); ++Rel) {
+    const std::vector<uint32_t> &Slots = RecordOf[Rel];
+    for (uint32_t Idx = 0; Idx != Slots.size(); ++Idx) {
+      uint32_t Slot = Slots[Idx];
+      if (Slot == None)
+        continue;
+      const Record &R = Records[Slot];
+      std::span<const uint32_t> Refs = refs(R);
+      size_t Pos = 0;
+      for (const datalog::Atom &A : Rules->rules()[R.RuleIdx].Body) {
+        if (A.Negated)
+          continue;
+        Dependents[tupleKey(A.Rel.index(), Refs[Pos])].push_back({Rel, Idx});
+        ++Pos;
+      }
+    }
+  }
+
+  std::vector<TupleRef> Cone;
+  std::unordered_set<uint64_t> Visited;
+  std::vector<TupleRef> Work(Seeds.begin(), Seeds.end());
+  for (const TupleRef &S : Seeds)
+    Visited.insert(tupleKey(S.Rel, S.Index));
+  while (!Work.empty()) {
+    TupleRef Cur = Work.back();
+    Work.pop_back();
+    auto It = Dependents.find(tupleKey(Cur.Rel, Cur.Index));
+    if (It == Dependents.end())
+      continue;
+    for (const TupleRef &Dep : It->second)
+      if (Visited.insert(tupleKey(Dep.Rel, Dep.Index)).second) {
+        Cone.push_back(Dep);
+        Work.push_back(Dep);
+      }
+  }
+  return Cone;
+}
+
+std::vector<ProvenanceRecorder::TupleRef>
+ProvenanceRecorder::tuplesDerivedBy(const std::vector<bool> &RuleMask) const {
+  std::vector<TupleRef> Result;
+  for (uint32_t Rel = 0; Rel != RecordOf.size(); ++Rel) {
+    const std::vector<uint32_t> &Slots = RecordOf[Rel];
+    for (uint32_t Idx = 0; Idx != Slots.size(); ++Idx) {
+      uint32_t Slot = Slots[Idx];
+      if (Slot == None)
+        continue;
+      uint32_t Rule = Records[Slot].RuleIdx;
+      if (Rule < RuleMask.size() && RuleMask[Rule])
+        Result.push_back({Rel, Idx});
+    }
+  }
+  return Result;
+}
+
+void ProvenanceRecorder::invalidate(uint32_t Rel, uint32_t TupleIndex) {
+  if (Rel >= RecordOf.size() || TupleIndex >= RecordOf[Rel].size())
+    return;
+  uint32_t &Slot = RecordOf[Rel][TupleIndex];
+  if (Slot == None)
+    return;
+  RecStats.WitnessRefs -= Records[Slot].RefCount;
+  --RecStats.TuplesRecorded;
+  Slot = None;
 }
 
 const std::string &ProvenanceRecorder::epochOf(uint32_t Rel,

@@ -90,6 +90,13 @@ public:
     uint64_t WitnessRefs = 0;      ///< live refs (excl. stale arena slack)
   };
 
+  /// A tuple address: relation id index + dense tuple index. What the
+  /// DRed support-cone queries traffic in.
+  struct TupleRef {
+    uint32_t Rel = 0;
+    uint32_t Index = 0;
+  };
+
   /// Creates a recorder over \p DB and \p Rules (the rule set the observed
   /// evaluator runs — candidate comparison needs each witness's relation).
   /// The recorder never mutates either; the database is also used to take
@@ -100,8 +107,7 @@ public:
 
   /// Re-points the recorder at \p Rules — an equal copy of the rule set it
   /// was created with (same rules, same indexes). For callers that outlive
-  /// the original set, e.g. a `CellProvenance` capture that keeps its own
-  /// copy after the framework manager is gone.
+  /// the original set after the framework manager is gone.
   void rebindRules(const datalog::RuleSet &NewRules) { Rules = &NewRules; }
 
   /// datalog::DerivationObserver: keeps the least candidate per tuple,
@@ -121,6 +127,31 @@ public:
   /// The canonical derivation of tuple \p TupleIndex of relation \p Rel, or
   /// nullptr if the tuple is a base fact (or was inserted while detached).
   const Record *derivationOf(uint32_t Rel, uint32_t TupleIndex) const;
+
+  /// DRed support cone: every recorded tuple whose canonical derivation
+  /// transitively cites one of \p Seeds as a witness (the seeds themselves
+  /// are not returned). `AnalysisCell::update` tombstones the cone before
+  /// re-deriving; keeping only the canonical derivation per tuple is safe
+  /// because canonical witnesses always predate their head tuple (candidates
+  /// arrive in the head's first-appearance round and cite earlier-round
+  /// tuples), so any tuple outside the cone retains an acyclic derivation
+  /// chain grounded in live base facts. Deterministic for a fixed recorder
+  /// state and seed order; see DESIGN.md §12.
+  std::vector<TupleRef> supportCone(std::span<const TupleRef> Seeds) const;
+
+  /// Every recorded tuple whose canonical rule is marked in \p RuleMask
+  /// (indexed by rule index; out-of-range = unmarked). The update path
+  /// seeds the support cone with all tuples derived by rules containing
+  /// negation when a delta retracts facts — deletion can create new
+  /// derivations through `!atom`, which DRed's delete/re-derive alone
+  /// cannot discover.
+  std::vector<TupleRef> tuplesDerivedBy(const std::vector<bool> &RuleMask) const;
+
+  /// Drops the derivation record of (\p Rel, \p TupleIndex) — used when the
+  /// tuple is tombstoned during an update so a later re-derivation at a
+  /// fresh index starts clean. Adjusts `stats()` accordingly. No-op for
+  /// unrecorded tuples.
+  void invalidate(uint32_t Rel, uint32_t TupleIndex);
 
   /// The witness tuple indexes of \p R (positive body atoms, body order).
   std::span<const uint32_t> refs(const Record &R) const {

@@ -278,15 +278,13 @@ CellRun runCell(const core::Application &App, core::AnalysisKind Kind,
     EXPECT_TRUE(R.ok()) << R.error().Message;
     Run.M = *R;
   } else {
-    std::unique_ptr<core::CellProvenance> Cell;
-    core::AnalysisResult R = Session.run(App, Kind, Cell);
-    EXPECT_TRUE(R.ok()) << R.error().Message;
-    Run.M = *R;
-    if (Cell) {
-      provenance::Explainer Ex(*Cell->DB, Cell->Rules, *Cell->Recorder);
+    core::CellResult Cell = Session.open(App, Kind);
+    EXPECT_TRUE(Cell.ok()) << Cell.error().Message;
+    if (Cell.ok()) {
+      Run.M = Cell->metrics();
       std::string Error;
       std::vector<provenance::DerivationNode> Trees =
-          Ex.explainQuery("ExercisedEntryPoint", Error);
+          Cell->explain("ExercisedEntryPoint", Error);
       EXPECT_EQ(Error, "");
       std::ostringstream Out;
       for (const provenance::DerivationNode &Tree : Trees)

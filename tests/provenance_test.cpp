@@ -430,33 +430,42 @@ TEST(RuleListing, ReportShowsIndexOriginAndNegation) {
 
 TEST(SessionCapture, ExplainsEntryPointsOfFinishedAnalysis) {
   core::AnalysisSession Session;
-  std::unique_ptr<core::CellProvenance> Cell;
-  core::AnalysisResult Result = Session.run(
-      synth::petstoreApp(), core::AnalysisKind::Mod2ObjH, Cell);
-  ASSERT_TRUE(Result.ok()) << Result.error().Message;
-  ASSERT_NE(Cell, nullptr);
+  core::CellResult Cell =
+      Session.open(synth::petstoreApp(), core::AnalysisKind::Mod2ObjH);
+  ASSERT_TRUE(Cell.ok()) << Cell.error().Message;
+  const core::Metrics &Result = Cell->metrics();
 
-  EXPECT_TRUE(Result->ProvenanceEnabled);
-  EXPECT_GT(Result->ProvenanceTuplesRecorded, 0u);
-  EXPECT_GT(Result->ProvenanceGlueEvents, 0u);
-  EXPECT_EQ(Result->ProvenanceTuplesRecorded,
-            Cell->Recorder->stats().TuplesRecorded);
+  EXPECT_TRUE(Result.ProvenanceEnabled);
+  EXPECT_GT(Result.ProvenanceTuplesRecorded, 0u);
+  EXPECT_GT(Result.ProvenanceGlueEvents, 0u);
+  EXPECT_EQ(Result.ProvenanceTuplesRecorded,
+            Cell->recorder().stats().TuplesRecorded);
 
   // The ISSUE acceptance query: an ExercisedEntryPoint tuple of the pet
   // store explains down to base facts only.
-  Explainer Ex(*Cell->DB, Cell->Rules, *Cell->Recorder);
   std::string Error;
   std::vector<DerivationNode> Trees =
-      Ex.explainQuery("ExercisedEntryPoint", Error);
+      Cell->explain("ExercisedEntryPoint", Error);
   EXPECT_EQ(Error, "");
   ASSERT_FALSE(Trees.empty());
   for (const DerivationNode &Tree : Trees)
     expectBottomsOutInBaseFacts(Tree);
 
+  // The cell's explain path must match a hand-built Explainer over the
+  // cell's own state byte for byte (the old capture-overload workflow).
+  Explainer Ex(Cell->database(), Cell->rules(), Cell->recorder());
+  std::string ManualError;
+  std::vector<DerivationNode> Manual =
+      Ex.explainQuery("ExercisedEntryPoint", ManualError);
+  ASSERT_EQ(Manual.size(), Trees.size());
+  for (size_t I = 0; I != Trees.size(); ++I)
+    EXPECT_EQ(Explainer::renderText(Manual[I]),
+              Explainer::renderText(Trees[I]));
+
   // The servlet's doPost is among the exercised entry points, and the glue
   // trail saw it get exercised.
   bool SawDoPost = false;
-  for (const ProvenanceRecorder::GlueEvent &E : Cell->Recorder->glueEvents())
+  for (const ProvenanceRecorder::GlueEvent &E : Cell->recorder().glueEvents())
     if (E.EventKind ==
             ProvenanceRecorder::GlueEvent::Kind::EntryPointExercised &&
         E.Detail.find("doPost") != std::string::npos)
