@@ -20,6 +20,7 @@
 #include "core/Session.h"
 #include "facts/Extractor.h"
 #include "provenance/Explain.h"
+#include "snapshot/Snapshot.h"
 #include "synth/SynthApp.h"
 
 #include <cctype>
@@ -28,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -89,6 +91,18 @@ int usage() {
               "                         bit-identical; also via "
               "JACKEE_PLAN\n"
               "  --no-snapshot-cache    rebuild the base program per cell\n"
+              "  --snapshot-save=DIR    serialize the base program of every "
+              "collection model\n"
+              "                         the requested analyses use (all "
+              "three when none are\n"
+              "                         given) into DIR and exit — the "
+              "mmap-able AOT store\n"
+              "  --snapshot-dir=DIR     cold-start base programs from the "
+              "store in DIR instead\n"
+              "                         of running the builders (also via "
+              "JACKEE_SNAPSHOT_DIR);\n"
+              "                         results are bit-identical, bad "
+              "stores fall back\n"
               "  --benchmark_out=FILE   also write metric rows as "
               "google-benchmark-style JSON\n"
               "  --trace-out=FILE       trace every pipeline phase and "
@@ -131,12 +145,18 @@ int usage() {
 /// Writes the collected rows in the google-benchmark JSON layout
 /// (`{"context": ..., "benchmarks": [...]}`), so the same
 /// plotting/tracking tooling consumes both micro and end-to-end runs.
-bool writeJson(const std::string &Path, const std::vector<Metrics> &Rows) {
+bool writeJson(const std::string &Path, const std::vector<Metrics> &Rows,
+               const AnalysisSession::CacheStats &CS) {
   std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out)
     return false;
-  std::fprintf(Out, "{\n  \"context\": {\n    \"executable\": "
-                    "\"benchmark_cli\"\n  },\n  \"benchmarks\": [\n");
+  // The session's cache counters ride in "context" — tooling that only
+  // reads "benchmarks" (compare_bench.py, diff_metrics.py) ignores them.
+  std::fprintf(Out,
+               "{\n  \"context\": {\n    \"executable\": "
+               "\"benchmark_cli\",\n    \"session\": %s\n  },\n"
+               "  \"benchmarks\": [\n",
+               cacheStatsToJson(CS, 4).c_str() + 4);
   for (size_t I = 0; I != Rows.size(); ++I)
     std::fprintf(Out, "%s%s\n", metricsToJson(Rows[I], 4).c_str(),
                  I + 1 == Rows.size() ? "" : ",");
@@ -410,6 +430,7 @@ int main(int Argc, char **Argv) {
   bool ExplainJson = false;
   std::string EditScript;
   bool EditScratch = false;
+  std::string SnapshotSaveDir;
   std::vector<const char *> Positional;
   for (int I = 1; I != Argc; ++I) {
     if (std::strncmp(Argv[I], "--explain=", 10) == 0) {
@@ -448,6 +469,10 @@ int main(int Argc, char **Argv) {
       }
     } else if (std::strcmp(Argv[I], "--no-snapshot-cache") == 0) {
       Options.SnapshotCache = false;
+    } else if (std::strncmp(Argv[I], "--snapshot-save=", 16) == 0) {
+      SnapshotSaveDir = Argv[I] + 16;
+    } else if (std::strncmp(Argv[I], "--snapshot-dir=", 15) == 0) {
+      Options.SnapshotDir = Argv[I] + 15;
     } else if (std::strncmp(Argv[I], "--benchmark_out=", 16) == 0) {
       JsonPath = Argv[I] + 16;
     } else if (std::strncmp(Argv[I], "--trace-out=", 12) == 0) {
@@ -462,6 +487,37 @@ int main(int Argc, char **Argv) {
     } else {
       Positional.push_back(Argv[I]);
     }
+  }
+  if (!SnapshotSaveDir.empty()) {
+    // Phase 1 of the AOT story: run the builders once per collection model
+    // and persist the result. Analyses given as positionals narrow the set
+    // of models; with none, write all three.
+    std::set<javalib::CollectionModel> Models;
+    for (const char *Arg : Positional)
+      if (std::optional<AnalysisKind> Kind = parseKind(lowered(Arg)))
+        Models.insert(collectionModel(*Kind));
+    if (Models.empty())
+      Models = {javalib::CollectionModel::OriginalJdk8,
+                javalib::CollectionModel::OriginalNoTreeNodes,
+                javalib::CollectionModel::SoundModulo};
+    for (javalib::CollectionModel Model : Models) {
+      auto Start = std::chrono::steady_clock::now();
+      snapshot::BaseProgram B = snapshot::buildBase(Model);
+      uint64_t Bytes = 0;
+      if (std::string Err =
+              snapshot::saveToDir(SnapshotSaveDir, B, Model, &Bytes);
+          !Err.empty()) {
+        std::fprintf(stderr, "error: snapshot save: %s\n", Err.c_str());
+        return 1;
+      }
+      double Seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - Start)
+                           .count();
+      std::printf("saved %s (%llu bytes, %.3fs)\n",
+                  snapshot::snapshotPath(SnapshotSaveDir, Model).c_str(),
+                  static_cast<unsigned long long>(Bytes), Seconds);
+    }
+    return 0;
   }
   if (!EditScript.empty()) {
     if (EditScript != "petstore") {
@@ -564,7 +620,7 @@ int main(int Argc, char **Argv) {
               "%s)\n",
               Rows.size(), MatrixSeconds, Session.jobCount(),
               Options.SnapshotCache ? "on" : "off");
-  if (Options.SnapshotCache)
+  if (Options.SnapshotCache) {
     std::printf("snapshots: %llu built (%.3fs), %llu cache hits, %llu "
                 "clones (%.3fs)\n",
                 static_cast<unsigned long long>(CS.SnapshotBuilds),
@@ -572,9 +628,15 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(CS.SnapshotHits),
                 static_cast<unsigned long long>(CS.SnapshotClones),
                 CS.CloneSeconds);
+    if (CS.SnapshotLoads)
+      std::printf("store: %llu mapped (%.3fs, %llu bytes)\n",
+                  static_cast<unsigned long long>(CS.SnapshotLoads),
+                  CS.LoadSeconds,
+                  static_cast<unsigned long long>(CS.StoreBytes));
+  }
 
   if (!JsonPath.empty()) {
-    if (!writeJson(JsonPath, Rows)) {
+    if (!writeJson(JsonPath, Rows, CS)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
       return 1;
     }

@@ -33,6 +33,7 @@ VOLATILE_SUBSTRINGS = (
     "pointsto.sched",
     "pointsto.shard.steals",
     "worker_idle",
+    "snapshot.load",    # session.snapshot.load_ns is wall-clock
 )
 
 # Additionally volatile between a delta update and a cold analysis: pure

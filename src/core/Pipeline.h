@@ -194,6 +194,16 @@ struct EngineOptions {
   /// back to `hardware_concurrency`; 1 runs rounds inline. The fixpoint is
   /// bit-identical at any setting (see DESIGN.md §11).
   unsigned SolverThreads = 0;
+
+  /// Directory of an AOT snapshot store written by `benchmark_cli
+  /// --snapshot-save=DIR` (src/snapshot/, DESIGN.md §13). When non-empty,
+  /// base programs are mapped read-only from the store instead of running
+  /// the library builders; a file that is missing or fails validation
+  /// falls back to the builders with a stderr warning. Empty resolves the
+  /// `JACKEE_SNAPSHOT_DIR` environment variable; when that is unset too,
+  /// snapshots always come from the builders. Results are bit-identical
+  /// either way (CI byte-diffs the two paths).
+  std::string SnapshotDir;
 };
 
 /// Historical name of the one-shot wrapper's knobs; same struct.

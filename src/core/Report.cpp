@@ -265,3 +265,31 @@ std::string jackee::core::metricsToJson(const Metrics &M, unsigned Indent) {
   Out << Pad << "}";
   return Out.str();
 }
+
+std::string
+jackee::core::cacheStatsToJson(const AnalysisSession::CacheStats &S,
+                               unsigned Indent) {
+  const std::string Pad(Indent, ' ');
+  std::ostringstream Out;
+  auto field = [&](std::string_view Name, const std::string &Value,
+                   bool Last = false) {
+    Out << Pad << "  " << observe::jsonQuote(Name) << ": " << Value
+        << (Last ? "\n" : ",\n");
+  };
+  auto num = [](double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f", V);
+    return std::string(Buf);
+  };
+  Out << Pad << "{\n";
+  field("snapshot_builds", std::to_string(S.SnapshotBuilds));
+  field("snapshot_loads", std::to_string(S.SnapshotLoads));
+  field("snapshot_hits", std::to_string(S.SnapshotHits));
+  field("snapshot_clones", std::to_string(S.SnapshotClones));
+  field("snapshot_store_bytes", std::to_string(S.StoreBytes));
+  field("snapshot_build_seconds", num(S.BuildSeconds));
+  field("snapshot_load_seconds", num(S.LoadSeconds));
+  field("snapshot_clone_seconds", num(S.CloneSeconds), true);
+  Out << Pad << "}";
+  return Out.str();
+}

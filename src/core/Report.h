@@ -15,6 +15,7 @@
 #define JACKEE_CORE_REPORT_H
 
 #include "core/Pipeline.h"
+#include "core/Session.h"
 #include "datalog/Evaluator.h"
 #include "observe/Trace.h"
 #include "pointsto/Solver.h"
@@ -65,6 +66,13 @@ std::string traceFlameReport(const observe::Tracer &T);
 /// metric becomes a counter field. Each line is indented by \p Indent
 /// spaces; no trailing comma or newline, so callers can join rows.
 std::string metricsToJson(const Metrics &M, unsigned Indent = 0);
+
+/// Renders a session's snapshot-cache counters as one JSON object —
+/// builds/loads/hits/clones plus the wall time each path consumed and the
+/// store bytes decoded. Same indentation contract as `metricsToJson`; CLI
+/// drivers embed it in the benchmark `"context"` object.
+std::string cacheStatsToJson(const AnalysisSession::CacheStats &S,
+                             unsigned Indent = 0);
 
 } // namespace core
 } // namespace jackee

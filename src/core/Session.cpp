@@ -7,6 +7,7 @@
 #include "core/Session.h"
 
 #include "datalog/Database.h"
+#include "snapshot/Snapshot.h"
 #include "support/Env.h"
 #include "support/WorkQueue.h"
 
@@ -520,6 +521,10 @@ AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
   SolverCellThreads = Options.SolverThreads ? Options.SolverThreads
                                             : (Jobs > 1 ? 1u : 0u);
   RecordProvenance = Options.Provenance || env::flagVar("JACKEE_PROVENANCE");
+  SnapshotDir = Options.SnapshotDir;
+  if (SnapshotDir.empty())
+    if (const char *Env = env::rawVar("JACKEE_SNAPSHOT_DIR"))
+      SnapshotDir = Env;
   bool TraceEnabled = Options.Trace;
   if (const char *Env = env::rawVar("JACKEE_TRACE"))
     if (std::string_view V(Env); !V.empty()) {
@@ -553,17 +558,50 @@ AnalysisSession::snapshotFor(javalib::CollectionModel Model, bool &WasHit) {
     return *It->second;
   }
   WasHit = false;
-  observe::Span BuildSpan(Trace.get(), "snapshot-build", "session");
-  BuildSpan.arg("model", static_cast<int>(Model));
-  auto Start = Clock::now();
   auto Snap = std::make_unique<Snapshot>();
-  Snap->Symbols = std::make_unique<SymbolTable>();
-  Snap->Base = std::make_unique<Program>(*Snap->Symbols);
-  Snap->Lib = javalib::buildJavaLibrary(*Snap->Base, Model);
-  Snap->Frameworks = frameworks::buildFrameworkLibrary(*Snap->Base, Snap->Lib);
-  Snap->BuildSeconds = secondsSince(Start);
-  ++Stats.SnapshotBuilds;
-  Stats.BuildSeconds += Snap->BuildSeconds;
+
+  // Miss path, in lookup order: the mmap-able AOT store (when configured),
+  // then the builders. Store failures — missing file, truncation, bad
+  // magic, stale version, digest mismatch — warn and fall through; they
+  // must never crash the session or silently change results.
+  if (!SnapshotDir.empty()) {
+    observe::Span LoadSpan(Trace.get(), "snapshot-load", "session");
+    LoadSpan.arg("model", static_cast<int>(Model));
+    auto Start = Clock::now();
+    snapshot::LoadResult Loaded = snapshot::loadFromDir(SnapshotDir, Model);
+    if (Loaded.ok()) {
+      Snap->Symbols = std::move(Loaded.Data->Symbols);
+      Snap->Base = std::move(Loaded.Data->Base);
+      Snap->Lib = Loaded.Data->Lib;
+      Snap->Frameworks = Loaded.Data->Frameworks;
+      Snap->Facts = std::move(Loaded.Data->Facts);
+      Snap->From = Snapshot::Source::MappedStore;
+      Snap->LoadSeconds = secondsSince(Start);
+      Snap->StoreBytes = Loaded.Bytes;
+      ++Stats.SnapshotLoads;
+      Stats.LoadSeconds += Snap->LoadSeconds;
+      Stats.StoreBytes += Loaded.Bytes;
+    } else {
+      std::fprintf(stderr,
+                   "warning: snapshot store %s; falling back to builders\n",
+                   Loaded.Warning.c_str());
+    }
+  }
+
+  if (!Snap->Base) {
+    observe::Span BuildSpan(Trace.get(), "snapshot-build", "session");
+    BuildSpan.arg("model", static_cast<int>(Model));
+    auto Start = Clock::now();
+    snapshot::BaseProgram Built = snapshot::buildBase(Model);
+    Snap->Symbols = std::move(Built.Symbols);
+    Snap->Base = std::move(Built.Base);
+    Snap->Lib = Built.Lib;
+    Snap->Frameworks = Built.Frameworks;
+    Snap->Facts = std::move(Built.Facts);
+    Snap->BuildSeconds = secondsSince(Start);
+    ++Stats.SnapshotBuilds;
+    Stats.BuildSeconds += Snap->BuildSeconds;
+  }
   return *Cache.emplace(Model, std::move(Snap)).first->second;
 }
 
@@ -588,10 +626,15 @@ CellResult AnalysisSession::openCell(const Application &App,
   CellSpan.arg("app", M.App);
   CellSpan.arg("analysis", M.Analysis);
 
-  // Base program: cloned from the snapshot cache, or built fresh.
+  // Base program: cloned from the snapshot cache, or built fresh. The
+  // snapshot pointer stays valid for the session's lifetime (the cache
+  // never evicts), so the cell's FrameworkManager can bulk-load the
+  // snapshot's base facts at prepare() time.
+  const Snapshot *SnapPtr = nullptr;
   if (Options.SnapshotCache) {
     bool Hit = false;
     const Snapshot &Snap = snapshotFor(collectionModel(Kind), Hit);
+    SnapPtr = &Snap;
     observe::Span CloneSpan(Trace.get(), "snapshot-clone", "session");
     auto CloneStart = Clock::now();
     Cell->Symbols = Snap.Symbols->clone();
@@ -601,8 +644,17 @@ CellResult AnalysisSession::openCell(const Application &App,
     Cell->Lib = Snap.Lib;
     Cell->Fw = Snap.Frameworks;
     M.SnapshotCacheHit = HitOverride.value_or(Hit);
-    if (!M.SnapshotCacheHit)
+    if (!M.SnapshotCacheHit && Snap.From == Snapshot::Source::Builders)
       M.SnapshotBuildSeconds = Snap.BuildSeconds;
+    // Deterministic per-cell gauges: where this cell's base program came
+    // from, and what the mapped store cost (0s when builder-sourced).
+    // `session.snapshot.load_ns` is wall-clock and therefore volatile
+    // (scripts/diff_metrics.py ignores it); source and bytes are exact.
+    Registry.set("session.snapshot.source",
+                 Snap.From == Snapshot::Source::MappedStore ? 1.0 : 0.0);
+    Registry.set("session.snapshot.load_ns", Snap.LoadSeconds * 1e9);
+    Registry.set("session.snapshot.bytes",
+                 static_cast<double>(Snap.StoreBytes));
     {
       std::lock_guard<std::mutex> Lock(CacheMutex);
       ++Stats.SnapshotClones;
@@ -634,6 +686,8 @@ CellResult AnalysisSession::openCell(const Application &App,
   frameworks::FrameworkManager &FM = *Cell->FM;
   FM.setTracer(Trace.get());
   FM.setMetricsRegistry(&Registry);
+  if (SnapPtr)
+    FM.setBaseFacts(&SnapPtr->Facts);
   if (ForceProvenance || RecordProvenance) {
     Cell->Recorder = std::make_unique<provenance::ProvenanceRecorder>(
         *Cell->DB, FM.rules());

@@ -320,12 +320,19 @@ public:
   std::vector<AnalysisResult> runMatrix(const std::vector<Application> &Apps,
                                         const std::vector<AnalysisKind> &Kinds);
 
-  /// Session-lifetime snapshot-cache accounting.
+  /// Session-lifetime snapshot-cache accounting. A snapshot miss is
+  /// satisfied either by the builders (`SnapshotBuilds`) or — when a store
+  /// directory is configured — by deserializing the mmap'd AOT store
+  /// (`SnapshotLoads`, see src/snapshot/); hits and clones count the same
+  /// way for both sources.
   struct CacheStats {
     uint64_t SnapshotBuilds = 0; ///< base programs built (one per model)
+    uint64_t SnapshotLoads = 0;  ///< base programs mapped from the store
     uint64_t SnapshotHits = 0;   ///< cells served from an existing snapshot
     uint64_t SnapshotClones = 0; ///< deep copies handed to cells
+    uint64_t StoreBytes = 0;     ///< total store bytes mapped and decoded
     double BuildSeconds = 0;
+    double LoadSeconds = 0;
     double CloneSeconds = 0;
   };
   CacheStats cacheStats() const;
@@ -345,18 +352,30 @@ public:
   static unsigned defaultJobCount();
 
 private:
-  /// One immutable base program: everything application-independent.
+  /// One immutable base program: everything application-independent,
+  /// including the extracted base relation facts cells bulk-load instead
+  /// of re-extracting (facts/BaseFacts.h).
   struct Snapshot {
+    enum class Source { Builders, MappedStore };
+
     std::unique_ptr<SymbolTable> Symbols;
     std::unique_ptr<ir::Program> Base; ///< unfinalized: cells finalize
                                        ///< after populating the app
     javalib::JavaLib Lib;
     frameworks::FrameworkLib Frameworks;
-    double BuildSeconds = 0;
+    facts::BaseFactSet Facts;
+    Source From = Source::Builders;
+    double BuildSeconds = 0; ///< builder path; 0 when loaded
+    double LoadSeconds = 0;  ///< store path; 0 when built
+    uint64_t StoreBytes = 0; ///< store image size; 0 when built
   };
 
-  /// The snapshot for \p Model, building it on first use. \p WasHit
-  /// reports whether it already existed. Thread-safe.
+  /// The snapshot for \p Model, materializing it on first use. \p WasHit
+  /// reports whether it already existed. Lookup order on a miss: the
+  /// mmap-able AOT store (when `SnapshotDir` resolved non-empty; a failed
+  /// load warns on stderr and falls through) → the builders. Thread-safe;
+  /// snapshots are never evicted, so references stay valid for the
+  /// session's lifetime.
   const Snapshot &snapshotFor(javalib::CollectionModel Model, bool &WasHit);
 
   /// Builds and solves one cell end to end; the single code path under
@@ -376,6 +395,7 @@ private:
   unsigned CellThreads = 0; ///< resolved per-cell Datalog worker count
   unsigned SolverCellThreads = 0; ///< per-cell solver worker request
   bool RecordProvenance = false; ///< Options.Provenance or JACKEE_PROVENANCE
+  std::string SnapshotDir; ///< resolved AOT store directory ("" = disabled)
   std::unique_ptr<observe::Tracer> Trace; ///< null when tracing is off
   std::string TraceOutPath; ///< from JACKEE_TRACE; written by the dtor
 

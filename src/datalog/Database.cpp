@@ -48,6 +48,24 @@ bool Relation::insert(std::span<const Symbol> Tuple) {
   return true;
 }
 
+void Relation::bulkLoad(std::span<const Symbol> FlatTuples) {
+  assert(FlatTuples.size() % Arity == 0 && "ragged bulk-load data");
+  assert(size() == 0 && Indexes.empty() && Dead.empty() &&
+         "bulk-load only into a fresh relation");
+  const uint32_t Count = static_cast<uint32_t>(FlatTuples.size() / Arity);
+  Data.reserve(FlatTuples.size());
+  Dedup.reserve(Count);
+  for (uint32_t I = 0; I != Count; ++I) {
+    uint32_t NewIndex = size();
+    Data.insert(Data.end(), FlatTuples.begin() + size_t(I) * Arity,
+                FlatTuples.begin() + size_t(I + 1) * Arity);
+    if (!Dedup.insert(NewIndex).second) {
+      assert(false && "bulk-loaded tuples must be pre-deduplicated");
+      Data.resize(size_t(NewIndex) * Arity);
+    }
+  }
+}
+
 bool Relation::contains(std::span<const Symbol> Tuple) const {
   assert(Tuple.size() == Arity && "tuple arity mismatch");
   // The probe pointer is thread-local scratch state, so concurrent readers

@@ -64,6 +64,19 @@ public:
   /// \returns true if the tuple was new.
   bool insert(std::span<const Symbol> Tuple);
 
+  /// Appends pre-deduplicated tuples from flat symbol data (`arity()`
+  /// symbols per tuple), preserving their order — the fast path for
+  /// seeding a cell's relations from a captured base-fact snapshot
+  /// (facts::BaseFactSet) without re-hashing each tuple through
+  /// `insert`. Only valid on a fresh relation: no tuples, no indexes,
+  /// no tombstones yet.
+  void bulkLoad(std::span<const Symbol> FlatTuples);
+
+  /// The flat tuple store (`size() * arity()` symbols, dense-index
+  /// order); what `bulkLoad` consumes and snapshot capture serializes.
+  /// Valid until the next insertion.
+  std::span<const Symbol> flatData() const { return Data; }
+
   /// \returns true if \p Tuple is present.
   ///
   /// Thread-safe against concurrent `contains`/`lookupPrebuilt`/`tuple`

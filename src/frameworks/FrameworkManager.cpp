@@ -107,7 +107,20 @@ std::string FrameworkManager::prepare() {
   assert(!Prepared && "prepare() called twice");
   if (Provenance)
     Provenance->beginEpoch("extraction");
-  {
+  if (BaseFacts) {
+    // Snapshot path: the base library's facts were extracted once when the
+    // snapshot was built; bulk-load them and extract only the application
+    // delta. Runs inside the "extraction" epoch so provenance attributes
+    // the loaded tuples exactly like freshly extracted ones.
+    {
+      observe::Span LoadSpan(Trace, "load-base-facts", "frameworks");
+      if (std::string Err = facts::bulkLoadBaseFacts(DB, *BaseFacts);
+          !Err.empty())
+        return "base-fact load: " + Err;
+    }
+    observe::Span ExtractSpan(Trace, "extract-program", "frameworks");
+    Facts.extractProgramDelta(P, BaseFacts->Watermark);
+  } else {
     observe::Span ExtractSpan(Trace, "extract-program", "frameworks");
     Facts.extractProgram(P);
   }

@@ -31,6 +31,7 @@
 #include "datalog/Database.h"
 #include "datalog/Evaluator.h"
 #include "datalog/Parser.h"
+#include "facts/BaseFacts.h"
 #include "facts/Extractor.h"
 #include "pointsto/Solver.h"
 #include "provenance/Provenance.h"
@@ -132,6 +133,19 @@ public:
   /// double-counted. Forwards to the evaluator.
   void rebindMetricsRegistry(observe::MetricsRegistry *R);
 
+  /// Provides pre-extracted base-program facts from a snapshot (the
+  /// session's per-model cache, possibly loaded from the mmap-able store).
+  /// `prepare()` then bulk-loads them and extracts only the entities past
+  /// the snapshot watermark (`extractProgramDelta`) instead of re-walking
+  /// the whole base library. Per-relation tuple order is identical to a
+  /// full extraction (see facts/BaseFacts.h), so results — including
+  /// explain trees — cannot diverge. The set must outlive this manager;
+  /// nullptr (the default) keeps the full-extraction path.
+  void setBaseFacts(const facts::BaseFactSet *Facts) {
+    assert(!Prepared && "provide base facts before prepare()");
+    BaseFacts = Facts;
+  }
+
   /// The fact extractor bound to this manager's database — the update path
   /// drives `extractProgramDelta`/`retractEntityFacts` through it.
   facts::Extractor &facts() { return Facts; }
@@ -225,6 +239,7 @@ private:
 
   Stats FrameworkStats;
   bool Prepared = false;
+  const facts::BaseFactSet *BaseFacts = nullptr;
 
   provenance::ProvenanceRecorder *Provenance = nullptr;
   observe::Tracer *Trace = nullptr;

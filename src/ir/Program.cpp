@@ -483,6 +483,35 @@ void Program::finalize() {
   Finalized = true;
 }
 
+void Program::clearDerived() {
+  Finalized = false;
+  AncestorBits = {};
+  DispatchTables = {};
+  ConcreteSubtypeLists = {};
+}
+
+void Program::restoreTables(std::vector<Type> NewTypes,
+                            std::vector<Field> NewFields,
+                            std::vector<Method> NewMethods,
+                            std::vector<Variable> NewVariables,
+                            std::vector<AllocSite> NewSites,
+                            std::vector<InvokeSite> NewInvokes) {
+  assert(Types.empty() && Fields.empty() && Methods.empty() &&
+         Variables.empty() && Sites.empty() && Invokes.empty() &&
+         !Finalized && "restore only into a fresh program");
+  Types = std::move(NewTypes);
+  Fields = std::move(NewFields);
+  Methods = std::move(NewMethods);
+  Variables = std::move(NewVariables);
+  Sites = std::move(NewSites);
+  Invokes = std::move(NewInvokes);
+  TypeByName.clear();
+  TypeByName.reserve(Types.size());
+  for (uint32_t I = 0; I != Types.size(); ++I)
+    if (!Types[I].IsRetracted)
+      TypeByName.emplace(Types[I].Name, I);
+}
+
 TypeId Program::findType(std::string_view Name) const {
   Symbol Sym = Symbols.lookup(Name);
   if (!Sym.isValid())

@@ -341,6 +341,38 @@ public:
     return static_cast<uint32_t>(Invokes.size());
   }
 
+  // --- Snapshot serialization (src/snapshot/) ---------------------------
+
+  /// Whole-table access for the snapshot serializer: the six entity tables
+  /// in dense-id order. Everything else (`TypeByName`, `finalize()` state)
+  /// is derived and recomputed on load, which is what keeps the on-disk
+  /// format index-based and relocatable.
+  const std::vector<Type> &typeTable() const { return Types; }
+  const std::vector<Field> &fieldTable() const { return Fields; }
+  const std::vector<Method> &methodTable() const { return Methods; }
+  const std::vector<Variable> &variableTable() const { return Variables; }
+  const std::vector<AllocSite> &allocSiteTable() const { return Sites; }
+  const std::vector<InvokeSite> &invokeTable() const { return Invokes; }
+
+  /// True after `finalize()` (and false again after `clearDerived()`).
+  bool isFinalized() const { return Finalized; }
+
+  /// Drops everything `finalize()` computed, restoring the exact
+  /// pre-finalize state — `finalize()` writes only the derived members and
+  /// interns no symbols, so a program finalized for base-fact extraction
+  /// serializes identically to one that was never finalized.
+  void clearDerived();
+
+  /// Snapshot restore: wholesale-replaces the entity tables of an empty,
+  /// unfinalized program and rebuilds the name lookup (skipping retracted
+  /// types, whose names `retractClass` freed). The bound symbol table must
+  /// already contain every symbol the tables reference.
+  void restoreTables(std::vector<Type> NewTypes, std::vector<Field> NewFields,
+                     std::vector<Method> NewMethods,
+                     std::vector<Variable> NewVariables,
+                     std::vector<AllocSite> NewSites,
+                     std::vector<InvokeSite> NewInvokes);
+
   // --- Queries ----------------------------------------------------------
 
   /// \returns the type named \p Name, or invalid.

@@ -19,6 +19,7 @@
 ///   JACKEE_PLAN            join-plan mode               (datalog::resolvePlanMode)
 ///   JACKEE_PROVENANCE      derivation recording on/off  (core::AnalysisSession)
 ///   JACKEE_TRACE           span tracing, value = output path (core::AnalysisSession)
+///   JACKEE_SNAPSHOT_DIR    AOT base-program store directory (core::AnalysisSession)
 ///
 /// Malformed or out-of-range values are ignored (the next precedence level
 /// applies) — a typo'd variable must never turn into a silent 1-thread or

@@ -20,7 +20,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 namespace jackee {
 
@@ -30,8 +30,11 @@ using Symbol = Id<struct SymbolTag>;
 
 /// Interns strings and hands out dense `Symbol` ids.
 ///
-/// Storage is a deque so that the `string_view` keys of the lookup map stay
-/// valid as the table grows.
+/// Storage is a deque so that `text()` references stay valid as the table
+/// grows. The lookup index is a flat open-addressing table of
+/// (hash fragment, symbol index) pairs — no per-entry node allocations,
+/// which is what makes bulk rebuilds (`clone()`, the snapshot loader) and
+/// the extraction-time intern storm cheap.
 class SymbolTable {
 public:
   SymbolTable() = default;
@@ -48,6 +51,16 @@ public:
   /// Interns \p Text, returning the existing symbol if already present.
   Symbol intern(std::string_view Text);
 
+  /// Interns \p Text that the caller expects to be absent. \returns the
+  /// new symbol, or the invalid symbol (table unchanged) when \p Text was
+  /// in fact already present — the duplicate check of `clone()` and the
+  /// snapshot loader, whose inputs list every string exactly once.
+  Symbol internNew(std::string_view Text);
+
+  /// Pre-sizes the lookup index for \p N symbols: one rehash up front
+  /// instead of O(log N) growth rehashes when the final size is known.
+  void reserve(size_t N);
+
   /// \returns the symbol for \p Text, or the invalid symbol if it was never
   /// interned. Never allocates.
   Symbol lookup(std::string_view Text) const;
@@ -62,8 +75,20 @@ public:
   size_t size() const { return Strings.size(); }
 
 private:
+  /// Probes for \p Text with \p Hash. \returns the slot holding its entry,
+  /// or the empty slot where it belongs. Never called on an empty table.
+  size_t findSlot(std::string_view Text, uint64_t Hash) const;
+
+  /// Re-buckets into at least \p MinSlots power-of-two slots.
+  void rehash(size_t MinSlots);
+
   std::deque<std::string> Strings;
-  std::unordered_map<std::string_view, uint32_t> Lookup;
+  /// Open-addressing slots, linear probing, load factor <= 0.75. Each
+  /// entry packs (32-bit hash fragment << 32) | symbol index; `EmptySlot`
+  /// (all ones) marks a free slot — unambiguous because a real entry's low
+  /// word is a valid index, never ~0.
+  std::vector<uint64_t> Slots;
+  static constexpr uint64_t EmptySlot = ~uint64_t(0);
 };
 
 } // namespace jackee
