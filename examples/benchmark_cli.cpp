@@ -114,6 +114,20 @@ int usage() {
               "(bit-identical\n"
               "                         at any --jobs/--threads — for "
               "determinism diffs)\n"
+              "  --profile              deep profiler (also via "
+              "JACKEE_PROFILE): per-rule and\n"
+              "                         per-relation cost attribution plus "
+              "the points-to set\n"
+              "                         census, printed per cell after the "
+              "matrix\n"
+              "  --profile-out=FILE     write the complete profiles "
+              "(volatile timing fields\n"
+              "                         included) as JSON — input to "
+              "scripts/profile_report.py\n"
+              "  --profile-text=FILE    write the deterministic text "
+              "reports (bit-identical\n"
+              "                         at any --jobs/--threads/--plan — "
+              "for CI byte-diffs)\n"
               "  --explain=QUERY        run ONE (benchmark, analysis) cell "
               "with provenance\n"
               "                         recording and print the derivation "
@@ -160,6 +174,30 @@ bool writeJson(const std::string &Path, const std::vector<Metrics> &Rows,
   for (size_t I = 0; I != Rows.size(); ++I)
     std::fprintf(Out, "%s%s\n", metricsToJson(Rows[I], 4).c_str(),
                  I + 1 == Rows.size() ? "" : ",");
+  std::fprintf(Out, "  ]\n}\n");
+  std::fclose(Out);
+  return true;
+}
+
+/// Writes every row's complete profile as `{"schema":1,"profiles":[...]}` —
+/// the document `scripts/profile_report.py` diffs.
+bool writeProfileJson(const std::string &Path,
+                      const std::vector<Metrics> &Rows) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  std::vector<const observe::Profile *> Profiles;
+  for (const Metrics &M : Rows)
+    if (M.ProfileData)
+      Profiles.push_back(M.ProfileData.get());
+  std::fprintf(Out, "{\n  \"schema\": 1,\n  \"profiles\": [\n");
+  for (size_t I = 0; I != Profiles.size(); ++I) {
+    std::string Json = observe::profileToJson(*Profiles[I], 4);
+    while (!Json.empty() && Json.back() == '\n')
+      Json.pop_back();
+    std::fprintf(Out, "%s%s\n", Json.c_str(),
+                 I + 1 == Profiles.size() ? "" : ",");
+  }
   std::fprintf(Out, "  ]\n}\n");
   std::fclose(Out);
   return true;
@@ -428,6 +466,9 @@ int main(int Argc, char **Argv) {
   std::string TraceStructurePath;
   std::string ExplainQuery;
   bool ExplainJson = false;
+  bool ProfileStdout = false;
+  std::string ProfileJsonPath;
+  std::string ProfileTextPath;
   std::string EditScript;
   bool EditScratch = false;
   std::string SnapshotSaveDir;
@@ -481,6 +522,15 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(Argv[I], "--trace-structure=", 18) == 0) {
       TraceStructurePath = Argv[I] + 18;
       Options.Trace = true;
+    } else if (std::strcmp(Argv[I], "--profile") == 0) {
+      ProfileStdout = true;
+      Options.Profile = true;
+    } else if (std::strncmp(Argv[I], "--profile-out=", 14) == 0) {
+      ProfileJsonPath = Argv[I] + 14;
+      Options.Profile = true;
+    } else if (std::strncmp(Argv[I], "--profile-text=", 15) == 0) {
+      ProfileTextPath = Argv[I] + 15;
+      Options.Profile = true;
     } else if (std::strncmp(Argv[I], "--", 2) == 0) {
       std::printf("error: unknown option '%s'\n\n", Argv[I]);
       return usage();
@@ -642,6 +692,40 @@ int main(int Argc, char **Argv) {
     }
     std::printf("wrote %zu JSON rows to %s\n", Rows.size(),
                 JsonPath.c_str());
+  }
+
+  if (ProfileStdout || !ProfileTextPath.empty() || !ProfileJsonPath.empty()) {
+    // Row order is deterministic (app-major), so the concatenated text
+    // report byte-diffs across the thread/jobs/plan grid.
+    std::string Text;
+    size_t ProfileCount = 0;
+    for (const Metrics &M : Rows)
+      if (M.ProfileData) {
+        Text += observe::renderProfileText(*M.ProfileData);
+        ++ProfileCount;
+      }
+    if (ProfileStdout) {
+      std::printf("\n");
+      std::fwrite(Text.data(), 1, Text.size(), stdout);
+    }
+    if (!ProfileTextPath.empty()) {
+      if (!writeTextFile(ProfileTextPath, Text)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     ProfileTextPath.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu profile reports to %s\n", ProfileCount,
+                  ProfileTextPath.c_str());
+    }
+    if (!ProfileJsonPath.empty()) {
+      if (!writeProfileJson(ProfileJsonPath, Rows)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     ProfileJsonPath.c_str());
+        return 1;
+      }
+      std::printf("wrote %zu profile JSON objects to %s\n", ProfileCount,
+                  ProfileJsonPath.c_str());
+    }
   }
 
   if (const observe::Tracer *Tracer = Session.tracer()) {

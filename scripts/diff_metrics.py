@@ -34,6 +34,8 @@ VOLATILE_SUBSTRINGS = (
     "pointsto.shard.steals",
     "worker_idle",
     "snapshot.load",    # session.snapshot.load_ns is wall-clock
+    "profile.sink",     # event/byte counts vary with tracing and job
+                        # interleaving (profile.census.* stays exact)
 )
 
 # Additionally volatile between a delta update and a cold analysis: pure

@@ -27,10 +27,12 @@
 #include "frameworks/FrameworkLibrary.h"
 #include "frameworks/FrameworkManager.h"
 #include "javalib/JavaLibrary.h"
+#include "observe/Profile.h"
 #include "pointsto/Solver.h"
 
 #include <cassert>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -167,6 +169,14 @@ struct Metrics {
   // tuples_per_sec`), round delta-size histograms, and worker idle time.
   // `metricsToJson` exports every sample under "observed.<name>".
   std::vector<std::pair<std::string, double>> Observed;
+
+  // Deep profile (zero unless enabled via `EngineOptions::Profile` /
+  // `JACKEE_PROFILE` / `benchmark_cli --profile`): per-rule and
+  // per-relation cost attribution plus the points-to set census
+  // (observe/Profile.h, DESIGN.md §14). Shared so matrix rows can be
+  // copied without duplicating the report.
+  std::shared_ptr<const observe::Profile> ProfileData;
+
   double totalSeconds() const {
     return SnapshotBuildSeconds + SnapshotCloneSeconds + PopulateSeconds +
            ElapsedSeconds;
@@ -204,6 +214,16 @@ struct EngineOptions {
   /// snapshots always come from the builders. Results are bit-identical
   /// either way (CI byte-diffs the two paths).
   std::string SnapshotDir;
+
+  /// Deep profiler (observe/Profile.h, DESIGN.md §14): per-rule /
+  /// per-relation cost attribution, the points-to set census, and the
+  /// structured event sink. False resolves the `JACKEE_PROFILE`
+  /// environment variable ("1"/"true" enables; any other non-empty value
+  /// enables *and* names the JSONL event-sink output path). The analysis
+  /// results are unchanged either way; disabled-mode overhead is a single
+  /// predictable branch per evaluation task (bench/micro_profile.cpp
+  /// enforces <= 1%).
+  bool Profile = false;
 };
 
 /// Historical name of the one-shot wrapper's knobs; same struct.

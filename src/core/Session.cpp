@@ -153,6 +153,14 @@ void AnalysisCell::finishMetrics(Metrics &M) {
   Registry->set("db.index_bytes", static_cast<double>(DB->indexBytes()));
   Registry->set("process.peak_rss_bytes",
                 static_cast<double>(observe::processPeakRssBytes()));
+  // Phase-boundary RSS sample (report): metrics collection just walked the
+  // program and solver state.
+  Registry->set("process.peak_rss.report_bytes",
+                static_cast<double>(observe::processPeakRssBytes()));
+  // Deep profile: assembled before the registry fold so the deterministic
+  // census gauges it publishes land in `Observed` too.
+  if (Profiled)
+    M.ProfileData = buildProfile(M);
   for (const observe::MetricsRegistry::Sample &Sample : Registry->snapshot())
     M.Observed.emplace_back(Sample.Name, Sample.Value);
 
@@ -163,6 +171,114 @@ void AnalysisCell::finishMetrics(Metrics &M) {
     M.ProvenanceGlueEvents =
         static_cast<uint32_t>(Recorder->glueEvents().size());
   }
+}
+
+std::shared_ptr<const observe::Profile>
+AnalysisCell::buildProfile(const Metrics &M) {
+  auto P = std::make_shared<observe::Profile>();
+  P->Label = M.App + "/" + M.Analysis;
+
+  // Rule attribution: evaluator counters joined with the rule set's head
+  // names and origins. Rules sharing a head relation get an ordinal suffix
+  // (definition order, so names are stable across runs).
+  if (const std::vector<datalog::Evaluator::RuleProfile> *RPs =
+          FM->ruleProfiles()) {
+    const std::vector<datalog::Rule> &Rules = FM->rules().rules();
+    std::unordered_map<uint32_t, uint32_t> HeadSeen;
+    size_t N = std::min(Rules.size(), RPs->size());
+    P->Rules.reserve(N);
+    for (size_t I = 0; I != N; ++I) {
+      const datalog::Rule &R = Rules[I];
+      uint32_t Ord = HeadSeen[R.Head.Rel.index()]++;
+      observe::ProfileRule PR;
+      PR.Name =
+          DB->relation(R.Head.Rel).name() + "#" + std::to_string(Ord);
+      PR.Origin = R.Origin;
+      const datalog::Evaluator::RuleProfile &E = (*RPs)[I];
+      PR.Passes = E.Passes;
+      PR.RoundsFired = E.RoundsFired;
+      PR.Derivations = E.Derivations;
+      PR.Matches = E.Matches;
+      PR.TuplesConsidered = E.TuplesConsidered;
+      PR.EstimatedFanout = E.EstimatedFanout;
+      PR.WallSeconds = E.WallSeconds;
+      P->Rules.push_back(std::move(PR));
+    }
+  }
+
+  // Relation storage accounting, in relation-id (declaration) order.
+  // DataBytes is exact payload (tuples x arity x symbol width) and thus
+  // deterministic; the capacity/index figures vary with plan mode and are
+  // marked *_approx so the diff tooling thresholds them.
+  P->Relations.reserve(DB->relationCount());
+  for (size_t I = 0; I != DB->relationCount(); ++I) {
+    const datalog::Relation &R =
+        DB->relation(datalog::RelationId(static_cast<uint32_t>(I)));
+    observe::ProfileRelationRow Row;
+    Row.Name = R.name();
+    Row.Arity = R.arity();
+    Row.Tuples = R.size();
+    Row.Live = R.liveSize();
+    Row.Dead = R.deadCount();
+    Row.DataBytes = uint64_t(R.size()) * R.arity() * sizeof(Symbol);
+    Row.IndexBytesApprox = R.indexBytes();
+    Row.StoreBytesApprox = R.bytes() - R.indexBytes();
+    Row.IndexesApprox = R.indexStats().size();
+    P->Relations.push_back(std::move(Row));
+  }
+
+  // Points-to set census — the hash-consing scouting report (ROADMAP item
+  // 5). Package shares use the paper's Figure 5 attribution prefixes; the
+  // `java.util` elephants show up here.
+  P->Census = Solver_->censusPointsTo(
+      {"java.util", "java.lang", "java.io", "javax", "org", "com"});
+
+  // Phase boundary samples (volatile fields; names/order deterministic).
+  // The per-phase RSS gauges were recorded as the phases finished.
+  auto Gauge = [this](std::string_view Name) -> uint64_t {
+    for (const observe::MetricsRegistry::Sample &S : Registry->snapshot())
+      if (S.Name == Name)
+        return static_cast<uint64_t>(S.Value);
+    return 0;
+  };
+  P->Phases.push_back({"extract",
+                       M.SnapshotBuildSeconds + M.SnapshotCloneSeconds +
+                           M.PopulateSeconds,
+                       Gauge("process.peak_rss.extract_bytes")});
+  P->Phases.push_back({"wiring",
+                       FM->stats().EvaluatorSeconds + FM->stats().GlueSeconds,
+                       Gauge("process.peak_rss.wiring_bytes")});
+  P->Phases.push_back({"solve", M.ElapsedSeconds,
+                       Gauge("process.peak_rss.solve_bytes")});
+  P->Phases.push_back({"report", 0.0, observe::processPeakRssBytes()});
+
+  // Deterministic census gauges, folded into `Observed` by finishMetrics
+  // (scripts/diff_metrics.py compares them exactly); the sink gauges are
+  // volatile (event counts depend on tracing and job interleaving) and
+  // live under the `profile.sink` volatile prefix.
+  Registry->set("profile.census.var_nodes",
+                static_cast<double>(P->Census.VarNodes));
+  Registry->set("profile.census.nonempty_sets",
+                static_cast<double>(P->Census.NonEmptySets));
+  Registry->set("profile.census.distinct_sets",
+                static_cast<double>(P->Census.DistinctSets));
+  Registry->set("profile.census.total_entries",
+                static_cast<double>(P->Census.TotalEntries));
+  Registry->set("profile.census.reclaimable_bytes",
+                static_cast<double>(P->Census.ReclaimableBytes));
+  if (Events) {
+    Registry->set("profile.sink.events",
+                  static_cast<double>(Events->eventCount()));
+    Registry->set("profile.sink.bytes",
+                  static_cast<double>(Events->bytesWritten()));
+    Events->event("profile")
+        .str("cell", P->Label)
+        .num("rules", static_cast<uint64_t>(P->Rules.size()))
+        .num("relations", static_cast<uint64_t>(P->Relations.size()))
+        .num("census_nonempty_sets", P->Census.NonEmptySets)
+        .num("census_distinct_sets", P->Census.DistinctSets);
+  }
+  return P;
 }
 
 std::vector<provenance::DerivationNode>
@@ -454,6 +570,8 @@ AnalysisResult AnalysisCell::update(const CellDelta &Delta) {
   }
   M.ElapsedSeconds = secondsSince(SolveStart);
   M.SolverThreads = Solver_->config().Threads;
+  Registry->set("process.peak_rss.solve_bytes",
+                static_cast<double>(observe::processPeakRssBytes()));
 
   finishMetrics(M);
   Current = std::move(M);
@@ -534,6 +652,27 @@ AnalysisSession::AnalysisSession(SessionOptions Opts) : Options(Opts) {
     }
   if (TraceEnabled)
     Trace = std::make_unique<observe::Tracer>();
+
+  // Deep profiler (DESIGN.md §14): same env-var shape as JACKEE_TRACE —
+  // "1"/"true" just enable it, any other non-empty value also names the
+  // JSONL event-log path.
+  ProfileCells = Options.Profile;
+  std::string ProfileEventPath;
+  if (const char *Env = env::rawVar("JACKEE_PROFILE"))
+    if (std::string_view V(Env); !V.empty()) {
+      ProfileCells = true;
+      if (V != "1" && V != "true")
+        ProfileEventPath = V;
+    }
+  if (ProfileCells) {
+    Events = std::make_unique<observe::EventSink>();
+    if (!ProfileEventPath.empty() && !Events->openFile(ProfileEventPath))
+      std::fprintf(stderr,
+                   "warning: cannot open profile event log %s; buffering\n",
+                   ProfileEventPath.c_str());
+    if (Trace)
+      Trace->setEventSink(Events.get());
+  }
 }
 
 AnalysisSession::~AnalysisSession() {
@@ -615,7 +754,9 @@ CellResult AnalysisSession::openCell(const Application &App,
   Cell->Kind = Kind;
   Cell->DatalogThreads = CellThreads;
   Cell->SolverThreadsReq = SolverCellThreads;
+  Cell->Profiled = ProfileCells;
   Cell->Trace = Trace.get();
+  Cell->Events = Events.get();
   Cell->Registry = std::make_unique<observe::MetricsRegistry>();
   observe::MetricsRegistry &Registry = *Cell->Registry;
 
@@ -686,6 +827,8 @@ CellResult AnalysisSession::openCell(const Application &App,
   frameworks::FrameworkManager &FM = *Cell->FM;
   FM.setTracer(Trace.get());
   FM.setMetricsRegistry(&Registry);
+  if (ProfileCells)
+    FM.enableRuleProfiling();
   if (SnapPtr)
     FM.setBaseFacts(&SnapPtr->Facts);
   if (ForceProvenance || RecordProvenance) {
@@ -710,6 +853,12 @@ CellResult AnalysisSession::openCell(const Application &App,
   if (std::string Err = FM.prepare(); !Err.empty())
     return AnalysisError{AnalysisErrorKind::Stratification,
                          App.Name + ": " + Err};
+  // Phase-boundary RSS sample (extract): prepare() just ran fact
+  // extraction. The wiring/solve/report boundaries sample the same gauge
+  // family (`process.peak_rss.<phase>_bytes`), so memory growth is
+  // attributable per phase instead of only end-of-run.
+  Registry.set("process.peak_rss.extract_bytes",
+               static_cast<double>(observe::processPeakRssBytes()));
   Cell->Watermark = facts::Extractor::watermarkOf(P);
   Cell->AllocWatermark = P.allocSiteCount();
 
@@ -741,6 +890,8 @@ CellResult AnalysisSession::openCell(const Application &App,
   }
   S.solve();
   M.ElapsedSeconds = secondsSince(Start);
+  Registry.set("process.peak_rss.solve_bytes",
+               static_cast<double>(observe::processPeakRssBytes()));
   SolveSpan.arg("work_items", S.stats().WorkItems);
   SolveSpan.arg("rounds", S.stats().PluginRounds);
   SolveSpan.end();
@@ -798,15 +949,28 @@ AnalysisSession::runMatrix(const std::vector<Application> &Apps,
   auto RunOne = [&](uint32_t I) {
     const Application &App = Apps[I / Kinds.size()];
     AnalysisKind Kind = Kinds[I % Kinds.size()];
+    // Per-cell progress heartbeats through the shared event sink, so long
+    // corpus runs are observable in flight (`tail -f` the JSONL log).
+    if (Events)
+      Events->event("cell-start")
+          .num("cell", static_cast<uint64_t>(I))
+          .str("app", App.Name)
+          .str("analysis", analysisName(Kind));
     std::optional<bool> HitOverride;
     if (Options.SnapshotCache)
       HitOverride = !BuildsSnapshot[I];
     CellResult R = openCell(App, Kind, /*ForceProvenance=*/false,
                             HitOverride, MatrixSpan.id());
+    bool Ok = R.ok();
     if (R.ok())
       Slots[I] = std::move(R->Current);
     else
       Slots[I] = R.error();
+    if (Events)
+      Events->event("cell-finish")
+          .num("cell", static_cast<uint64_t>(I))
+          .str("app", App.Name)
+          .num("ok", static_cast<uint64_t>(Ok));
   };
 
   unsigned Workers =

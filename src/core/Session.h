@@ -200,6 +200,13 @@ public:
   /// Number of `update()` calls that have been applied.
   uint32_t updateCount() const { return Updates; }
 
+  /// The deep profile of the most recent fixpoint (same object as
+  /// `metrics().ProfileData`), or null when profiling is off for the
+  /// session (see `EngineOptions::Profile`).
+  std::shared_ptr<const observe::Profile> profile() const {
+    return Current.ProfileData;
+  }
+
   /// \name Cell state accessors (what `CellProvenance` used to hand out)
   /// @{
   const ir::Program &program() const { return *Prog; }
@@ -214,8 +221,15 @@ private:
   AnalysisCell() = default;
 
   /// Shared tail of open/update: semantic + effort metrics off the current
-  /// fixpoint, registry fold, provenance stats.
+  /// fixpoint, registry fold, provenance stats, and — when profiling — the
+  /// deep-profile assembly.
   void finishMetrics(Metrics &M);
+
+  /// Assembles the cell's `observe::Profile` (rule attribution off the
+  /// evaluator, relation byte accounting off the database, the points-to
+  /// census off the solver, phase samples off \p M) and publishes the
+  /// deterministic census gauges into the cell registry.
+  std::shared_ptr<const observe::Profile> buildProfile(const Metrics &M);
 
   // Identity / configuration (immutable after open).
   std::string AppName;
@@ -223,7 +237,9 @@ private:
   AnalysisKind Kind = AnalysisKind::CI;
   unsigned DatalogThreads = 0;
   unsigned SolverThreadsReq = 0;
+  bool Profiled = false;            ///< deep profiler on for this cell
   observe::Tracer *Trace = nullptr; ///< session-owned; may be null
+  observe::EventSink *Events = nullptr; ///< session-owned; may be null
 
   // Cell state. Declaration order is destruction-order-critical (members
   // destroy in reverse): the solver dies before the framework manager it
@@ -343,6 +359,15 @@ public:
   /// `writeChromeTrace`.
   observe::Tracer *tracer() const { return Trace.get(); }
 
+  /// The session's structured event sink, or null when profiling is
+  /// disabled (see `EngineOptions::Profile`). Tracer span flushes,
+  /// per-cell metric snapshots and matrix heartbeats all write through it;
+  /// `JACKEE_PROFILE=<path>` streams it as JSONL.
+  observe::EventSink *eventSink() const { return Events.get(); }
+
+  /// True when cells run with the deep profiler attached.
+  bool profilingEnabled() const { return ProfileCells; }
+
   /// The resolved matrix worker count.
   unsigned jobCount() const { return Jobs; }
 
@@ -396,6 +421,10 @@ private:
   unsigned SolverCellThreads = 0; ///< per-cell solver worker request
   bool RecordProvenance = false; ///< Options.Provenance or JACKEE_PROVENANCE
   std::string SnapshotDir; ///< resolved AOT store directory ("" = disabled)
+  bool ProfileCells = false; ///< Options.Profile or JACKEE_PROFILE
+  // The sink is declared before the tracer that mirrors spans into it, so
+  // it destructs after the tracer.
+  std::unique_ptr<observe::EventSink> Events; ///< null unless profiling
   std::unique_ptr<observe::Tracer> Trace; ///< null when tracing is off
   std::string TraceOutPath; ///< from JACKEE_TRACE; written by the dtor
 

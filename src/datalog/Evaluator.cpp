@@ -193,8 +193,18 @@ void Evaluator::stratify() {
         static_cast<uint32_t>(Strata[I].RuleIndexes.size());
 }
 
+void Evaluator::enableRuleProfiling() { Profiling = true; }
+
 void Evaluator::run() {
   assert(StratificationError.empty() && "running an unstratifiable program");
+  if (Profiling && RuleProfiles.size() != Rules.rules().size()) {
+    // Sized per run, not at enable time: the bean-wiring loop can extend
+    // the rule set between runs and re-runs pick the new rules up.
+    RuleProfiles.resize(Rules.rules().size());
+    RuleLastRound.resize(Rules.rules().size(), 0);
+    for (size_t W = 0; W != Scratch.size(); ++W)
+      Scratch[W].Prof.resize(Rules.rules().size());
+  }
   if (Observer && PositiveArity.size() != Rules.rules().size()) {
     PositiveArity.clear();
     for (const Rule &R : Rules.rules()) {
@@ -225,6 +235,19 @@ void Evaluator::run() {
                         ".tuples_per_sec",
                     static_cast<double>(SS.TuplesDerived) / SS.WallSeconds);
   }
+  // Fold the worker-local profiling tallies into the per-rule totals at a
+  // single-threaded point. Integer sums commute, so the fold order (and
+  // which worker counted what) never shows in the result.
+  if (Profiling)
+    for (size_t W = 0; W != Scratch.size(); ++W)
+      for (size_t RI = 0; RI != RuleProfiles.size(); ++RI) {
+        RuleProfCell &C = Scratch[W].Prof[RI];
+        RuleProfiles[RI].TuplesConsidered += C.Considered;
+        RuleProfiles[RI].Derivations += C.Derivations;
+        RuleProfiles[RI].Matches += C.Matches;
+        RuleProfiles[RI].WallSeconds += C.WallSeconds;
+        C = RuleProfCell();
+      }
 }
 
 void Evaluator::appendPassTasks(std::vector<Task> &Tasks,
@@ -252,6 +275,8 @@ void Evaluator::appendPassTasks(std::vector<Task> &Tasks,
       R, DeltaAtom,
       {Planning, std::span<const uint32_t>(Sizes.data(), Sizes.size()), &DB}));
   const JoinPlan &Plan = Plans.back();
+  if (Profiling)
+    RuleProfiles[RuleIdx].EstimatedFanout += Plan.EstimatedFanout;
 
   if (Plan.PositiveOrder.empty()) {
     // Fact rule: nothing to drive over, one unchunked pass.
@@ -402,6 +427,21 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
   EvalStats.RuleEvaluations += Passes;
   SS.RuleEvaluations += Passes;
 
+  if (Profiling) {
+    // Per-rule pass and rounds-fired attribution: both derive from the
+    // pass set, which appendPassTasks keeps plan- and thread-invariant.
+    ++RoundSerial;
+    for (const Task &T : Tasks)
+      if (T.FirstChunk) {
+        RuleProfile &RP = RuleProfiles[T.RuleIdx];
+        ++RP.Passes;
+        if (RuleLastRound[T.RuleIdx] != RoundSerial) {
+          RuleLastRound[T.RuleIdx] = RoundSerial;
+          ++RP.RoundsFired;
+        }
+      }
+  }
+
   // Harvest the per-worker full-match counters into the registry at the
   // round barrier. The total is the ground truth the planner's
   // estimated_fanout histogram is compared against; it is plan- and
@@ -422,10 +462,22 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
     // Sequential engine: direct inserts, lazily built indexes — the exact
     // pre-parallelization behavior.
     uint64_t Before = EvalStats.TuplesDerived;
-    for (const Task &T : Tasks)
-      evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
-                   T.DriveTo, T.HasDrive, Limit,
-                   /*Staging=*/nullptr, Scratch[0]);
+    for (const Task &T : Tasks) {
+      if (Profiling) {
+        auto T0 = std::chrono::steady_clock::now();
+        evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
+                     T.DriveTo, T.HasDrive, Limit,
+                     /*Staging=*/nullptr, Scratch[0]);
+        Scratch[0].Prof[T.RuleIdx].WallSeconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          T0)
+                .count();
+      } else {
+        evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
+                     T.DriveTo, T.HasDrive, Limit,
+                     /*Staging=*/nullptr, Scratch[0]);
+      }
+    }
     SS.TuplesDerived += EvalStats.TuplesDerived - Before;
     recordMatches();
     return;
@@ -461,9 +513,20 @@ void Evaluator::executeRound(const Stratum &S, const std::vector<Task> &Tasks,
         static_cast<uint32_t>(Tasks.size()),
         [&](uint32_t TaskIdx, unsigned Worker) {
           const Task &T = Tasks[TaskIdx];
-          evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom, T.DriveFrom,
-                       T.DriveTo, T.HasDrive, Limit, &Staging[Worker],
-                       Scratch[Worker]);
+          if (Profiling) {
+            auto T0 = std::chrono::steady_clock::now();
+            evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom,
+                         T.DriveFrom, T.DriveTo, T.HasDrive, Limit,
+                         &Staging[Worker], Scratch[Worker]);
+            Scratch[Worker].Prof[T.RuleIdx].WallSeconds +=
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+          } else {
+            evaluateRule(T.RuleIdx, Plans[T.PlanIdx], T.DeltaAtom,
+                         T.DriveFrom, T.DriveTo, T.HasDrive, Limit,
+                         &Staging[Worker], Scratch[Worker]);
+          }
         });
   }
   recordMatches();
@@ -634,6 +697,12 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
     return S.Refs;
   };
 
+  // Profiling: matches whose head tuple was absent at the round barrier —
+  // exactly the provenance-candidate criterion, so the count is identical
+  // in sequential and staged mode (and at any thread count / plan mode).
+  uint64_t ProfDerived = 0;
+  uint64_t MatchesAtStart = S.Matches;
+
   auto emitHead = [&]() {
     S.Tuple.clear();
     for (const Term &T : R.Head.Terms)
@@ -645,6 +714,7 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
       // relation is frozen during the round, so `contains` is a safe
       // concurrent read.
       if (!DB.relation(R.Head.Rel).contains(S.Tuple)) {
+        ++ProfDerived;
         Staging->emit(R.Head.Rel.index(), S.Tuple);
         if (Observer)
           Staging->emitProv(R.Head.Rel.index(), RuleIdx, gatherRefs());
@@ -654,6 +724,7 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
     Relation &Head = DB.relation(R.Head.Rel);
     if (Head.insert(S.Tuple)) {
       ++EvalStats.TuplesDerived;
+      ++ProfDerived;
       if (Observer)
         Observer->onDerivation(R.Head.Rel.index(), Head.size() - 1, RuleIdx,
                                gatherRefs());
@@ -664,16 +735,26 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
       // independent of rule execution order.
       uint32_t Existing = Head.find(S.Tuple);
       if (Existing != Relation::NoTuple &&
-          Existing >= Limit[R.Head.Rel.index()])
+          Existing >= Limit[R.Head.Rel.index()]) {
+        ++ProfDerived;
         Observer->onDerivation(R.Head.Rel.index(), Existing, RuleIdx,
                                gatherRefs());
+      }
+    } else if (Profiling) {
+      // Same criterion without an observer; the extra find() only runs on
+      // within-round duplicates, and only when profiling is on.
+      uint32_t Existing = Head.find(S.Tuple);
+      if (Existing != Relation::NoTuple &&
+          Existing >= Limit[R.Head.Rel.index()])
+        ++ProfDerived;
     }
   };
 
   // Slot-0 guards need no bindings (constants only — and, on fact rules,
-  // every guard): failing here prunes the whole pass.
-  if (!passesGuards(0))
-    return;
+  // every guard): failing here prunes the whole pass (the profiling flush
+  // at the bottom still runs — the pass scanned its drive range for
+  // nothing, which is exactly what "considered" should charge).
+  bool GuardsPass = passesGuards(0);
 
   // Recursive nested-loop join over the plan's positive-atom order, as a
   // self-passed generic lambda (no std::function allocation per pass).
@@ -780,5 +861,13 @@ void Evaluator::evaluateRule(uint32_t RuleIdx, const JoinPlan &Plan,
       tryTuple(TupleIdx);
   };
 
-  match(match, 0);
+  if (GuardsPass)
+    match(match, 0);
+
+  if (Profiling) {
+    RuleProfCell &C = S.Prof[RuleIdx];
+    C.Considered += HasDrive ? uint64_t(DriveTo - DriveFrom) : 1;
+    C.Derivations += ProfDerived;
+    C.Matches += S.Matches - MatchesAtStart;
+  }
 }

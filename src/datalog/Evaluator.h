@@ -115,6 +115,35 @@ public:
     std::vector<StratumStats> Strata; ///< per stratum, in execution order
   };
 
+  /// Per-rule cost attribution (DESIGN.md §14), accumulated across `run()`
+  /// calls while rule profiling is enabled. The counter fields are
+  /// **deterministic** — identical at any thread count and under both plan
+  /// modes, because they are derived from the pass set and the round-
+  /// snapshot-bounded match set, never from scheduling:
+  ///  - `Passes` / `RoundsFired` count emitted passes (`appendPassTasks`
+  ///    looks only at the body and the snapshot);
+  ///  - `Matches` counts full join matches (binding satisfies every atom
+  ///    and guard over the round snapshot — enumeration-order-free);
+  ///  - `Derivations` counts matches whose head tuple was absent at the
+  ///    round barrier (the provenance candidate criterion, proven
+  ///    thread-invariant in DESIGN.md §8), i.e. derivations of this
+  ///    round's fresh tuples with multiplicity — the attribution-grade
+  ///    refinement of `TuplesDerived`, which credits no rule.
+  /// `TuplesConsidered` (drive-range tuples scanned) and `EstimatedFanout`
+  /// are **schedule-dependent** — they vary with the plan mode (the
+  /// planner picks each pass's drive atom) and with the worker count (the
+  /// sequential and staged engines split seed/delta passes differently);
+  /// `WallSeconds` is volatile.
+  struct RuleProfile {
+    uint64_t Passes = 0;
+    uint64_t RoundsFired = 0;
+    uint64_t TuplesConsidered = 0;
+    uint64_t Derivations = 0;
+    uint64_t Matches = 0;
+    double EstimatedFanout = 0;
+    double WallSeconds = 0;
+  };
+
   /// Prepares strata for \p Rules over \p DB's schema.
   ///
   /// \p Threads selects the worker count: 0 resolves the `JACKEE_THREADS`
@@ -172,6 +201,23 @@ public:
   void setMetricsRegistry(observe::MetricsRegistry *R) { Registry = R; }
   observe::MetricsRegistry *metricsRegistry() const { return Registry; }
 
+  /// Turns on per-rule profiling (idempotent; there is no off switch — the
+  /// profiler is per-cell and cells are created with it on or not at all).
+  /// Call before the first `run()`: passes run while profiling was off are
+  /// not attributed. When off, the only hot-path cost is one branch per
+  /// task and per duplicate head emit (see `bench/micro_profile.cpp` for
+  /// the measured non-cost).
+  void enableRuleProfiling();
+  bool ruleProfilingEnabled() const { return Profiling; }
+
+  /// Per-rule attribution, indexed like `Rules.rules()`. Empty unless
+  /// `enableRuleProfiling` was called. Worker-local tallies are folded at
+  /// the end of each `run()`, so read between runs (e.g. at fixpoint), not
+  /// mid-round.
+  const std::vector<RuleProfile> &ruleProfiles() const {
+    return RuleProfiles;
+  }
+
   /// The resolved worker count (after env var / hardware defaulting).
   unsigned threadCount() const { return Threads; }
 
@@ -205,6 +251,16 @@ private:
   /// Per-worker join scratch, reused across `evaluateRule` calls so the
   /// innermost join loops never allocate once the buffers reach
   /// steady-state size (they are only ever grown, never shrunk).
+  /// Per-worker, per-rule profiling tally (integer sums are
+  /// order-independent, so folding worker slots in any order is
+  /// deterministic; WallSeconds is volatile anyway).
+  struct RuleProfCell {
+    uint64_t Considered = 0;
+    uint64_t Derivations = 0;
+    uint64_t Matches = 0;
+    double WallSeconds = 0;
+  };
+
   struct JoinScratch {
     std::vector<Symbol> Bindings;   ///< variable values, by VarIndex
     std::vector<char> BoundFlags;   ///< 1 if the variable is bound
@@ -214,6 +270,7 @@ private:
     std::vector<uint32_t> MatchIdx; ///< observer mode: match per body atom
     std::vector<uint32_t> Refs;     ///< observer mode: witness refs
     uint64_t Matches = 0; ///< full join matches (guards passed) this round
+    std::vector<RuleProfCell> Prof; ///< profiling mode: per-rule tallies
   };
 
   void stratify();
@@ -279,6 +336,14 @@ private:
   /// Positive-body-atom count per rule (a staged derivation's witness
   /// count), built lazily on first observed run.
   std::vector<uint32_t> PositiveArity;
+
+  // Rule profiling (enableRuleProfiling). Passes/rounds/fanout accumulate
+  // directly (single-threaded call sites); considered/derivations/matches/
+  // wall flow through the per-worker Prof cells and fold at run() end.
+  bool Profiling = false;
+  std::vector<RuleProfile> RuleProfiles; ///< indexed like Rules.rules()
+  std::vector<uint64_t> RuleLastRound;   ///< round stamp per rule
+  uint64_t RoundSerial = 0;              ///< bumped once per executeRound
 };
 
 } // namespace datalog

@@ -136,6 +136,8 @@ std::string FrameworkManager::prepare() {
   Eval->setObserver(Provenance);
   Eval->setTracer(Trace);
   Eval->setMetricsRegistry(Registry);
+  if (ProfileRules)
+    Eval->enableRuleProfiling();
   Prepared = true;
   return "";
 }
@@ -184,6 +186,11 @@ bool FrameworkManager::onFixpoint(Solver &S) {
       std::chrono::duration<double>(T1 - T0).count();
   FrameworkStats.GlueSeconds +=
       std::chrono::duration<double>(T2 - T1).count();
+  // Phase-boundary RSS sample (wiring). Last write wins, so after the final
+  // round the gauge holds the high-water mark as of the last wiring step.
+  if (Registry)
+    Registry->set("process.peak_rss.wiring_bytes",
+                  double(observe::processPeakRssBytes()));
   return Changed;
 }
 

@@ -133,6 +133,20 @@ public:
   /// double-counted. Forwards to the evaluator.
   void rebindMetricsRegistry(observe::MetricsRegistry *R);
 
+  /// Turns on per-rule profiling (DESIGN.md §14) on the evaluator
+  /// `prepare()` builds; `Evaluator::ruleProfiles` then attributes every
+  /// bean-wiring evaluation. Call before `prepare()`.
+  void enableRuleProfiling() {
+    assert(!Prepared && "enable profiling before prepare()");
+    ProfileRules = true;
+  }
+
+  /// The per-rule attribution collected so far; null before `prepare()` or
+  /// when profiling was never enabled.
+  const std::vector<datalog::Evaluator::RuleProfile> *ruleProfiles() const {
+    return Eval && ProfileRules ? &Eval->ruleProfiles() : nullptr;
+  }
+
   /// Provides pre-extracted base-program facts from a snapshot (the
   /// session's per-model cache, possibly loaded from the mmap-able store).
   /// `prepare()` then bulk-loads them and extracts only the entities past
@@ -239,6 +253,7 @@ private:
 
   Stats FrameworkStats;
   bool Prepared = false;
+  bool ProfileRules = false;
   const facts::BaseFactSet *BaseFacts = nullptr;
 
   provenance::ProvenanceRecorder *Provenance = nullptr;

@@ -7,6 +7,7 @@
 #include "observe/Trace.h"
 
 #include "observe/Json.h"
+#include "observe/Profile.h"
 
 #include <algorithm>
 #include <cassert>
@@ -69,11 +70,27 @@ void Tracer::endSpan(uint32_t Id) {
       OpenStack.erase(std::next(It).base());
       break;
     }
-  std::lock_guard<std::mutex> Lock(Mutex);
-  assert(Id < Spans.size() && "ending an unknown span");
-  SpanRecord &S = Spans[Id];
-  S.DurationUs = nowUs() - S.StartUs;
-  S.Open = false;
+  std::string Name, Category;
+  double DurationUs = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(Id < Spans.size() && "ending an unknown span");
+    SpanRecord &S = Spans[Id];
+    S.DurationUs = nowUs() - S.StartUs;
+    S.Open = false;
+    if (Events && S.Category != WorkerCategory) {
+      Name = S.Name;
+      Category = S.Category;
+      DurationUs = S.DurationUs;
+    }
+  }
+  // Mirror the closed span into the JSONL log outside the tracer lock (the
+  // sink has its own; worker spans stay out, matching renderStructure).
+  if (Events && !Name.empty())
+    Events->event("span")
+        .str("name", Name)
+        .str("cat", Category)
+        .num("dur_us", DurationUs);
 }
 
 void Tracer::addArg(uint32_t Id, std::string_view Key, std::string_view Value,

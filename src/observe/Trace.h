@@ -54,6 +54,8 @@
 namespace jackee {
 namespace observe {
 
+class EventSink;
+
 /// Collects spans from any number of threads. All mutation goes through one
 /// mutex — spans are coarse (phases, strata, rounds; thousands per run, not
 /// millions), so contention is irrelevant next to the work they measure.
@@ -113,6 +115,11 @@ public:
 
   size_t spanCount() const;
 
+  /// Mirrors every closed *structural* (non-worker) span into \p Sink as a
+  /// `span` event — part of the shared JSONL log of DESIGN.md §14. The
+  /// sink must outlive the tracer; null detaches.
+  void setEventSink(EventSink *Sink) { Events = Sink; }
+
 private:
   double nowUs() const;
 
@@ -120,6 +127,7 @@ private:
   std::vector<SpanRecord> Spans;
   std::map<std::thread::id, uint32_t> ThreadIds;
   std::chrono::steady_clock::time_point Epoch;
+  EventSink *Events = nullptr;
 };
 
 /// RAII span guard. Inert when constructed with a null tracer — every

@@ -11,6 +11,7 @@
 #include "support/WorkQueue.h"
 
 #include <algorithm>
+#include <map>
 #include <string_view>
 #include <thread>
 
@@ -562,4 +563,45 @@ double Solver::averageVarPointsTo(bool AppOnly) const {
   for (const auto &[VarIndex, Sites] : PerVar)
     Sum += Sites.size();
   return static_cast<double>(Sum) / static_cast<double>(PerVar.size());
+}
+
+observe::ProfileCensus Solver::censusPointsTo(
+    const std::vector<std::string> &PackagePrefixes) const {
+  observe::ProfileCensus C;
+  // Exact distinct-set accounting: the canonical (sorted) contents are the
+  // map key, so equal sets compare equal regardless of the insertion order
+  // propagation produced, and there are no hash-collision undercounts. An
+  // ordered map keeps the walk allocation-bounded by the distinct count —
+  // which is the whole point of the census being small.
+  std::map<std::vector<uint32_t>, uint64_t> Distinct;
+  std::vector<uint32_t> Key;
+  for (size_t I = 0, E = Nodes.size(); I != E; ++I) {
+    if (Nodes[I].Kind != NodeKind::Var)
+      continue;
+    ++C.VarNodes;
+    const InsertOrderSet<uint32_t> &Set = PointsTo[I];
+    if (Set.empty())
+      continue;
+    ++C.NonEmptySets;
+    C.TotalEntries += Set.size();
+    C.MaxSetSize = std::max<uint64_t>(C.MaxSetSize, Set.size());
+    size_t Bucket = 0;
+    while ((uint64_t(1) << Bucket) < Set.size())
+      ++Bucket;
+    if (C.Histogram.size() <= Bucket)
+      C.Histogram.resize(Bucket + 1, 0);
+    ++C.Histogram[Bucket];
+    Key.assign(Set.begin(), Set.end());
+    std::sort(Key.begin(), Key.end());
+    ++Distinct[Key];
+  }
+  C.DistinctSets = Distinct.size();
+  for (const auto &[Contents, Occurrences] : Distinct)
+    C.DistinctEntries += Contents.size();
+  C.SetBytes = C.TotalEntries * sizeof(uint32_t);
+  C.ReclaimableBytes =
+      (C.TotalEntries - C.DistinctEntries) * sizeof(uint32_t);
+  for (const std::string &Prefix : PackagePrefixes)
+    C.Packages.push_back({Prefix, varPointsToTuples(Prefix)});
+  return C;
 }

@@ -51,6 +51,7 @@
 #define JACKEE_POINTSTO_SOLVER_H
 
 #include "ir/Program.h"
+#include "observe/Profile.h"
 #include "observe/Trace.h"
 #include "pointsto/Context.h"
 #include "support/DenseSet.h"
@@ -229,6 +230,17 @@ public:
   /// variables of application-declared methods. Context-insensitive
   /// projection (sites per variable), averaged over pointing variables.
   double averageVarPointsTo(bool AppOnly) const;
+
+  /// The points-to set census of DESIGN.md §14: hashes every var node's
+  /// set by canonical (sorted) contents to count distinct vs total sets, a
+  /// power-of-two size histogram, and the bytes a hash-consing pass
+  /// (ROADMAP item 5) would reclaim. One `PackageShare` row per entry of
+  /// \p PackagePrefixes (`varPointsToTuples` on each — where the paper's
+  /// `java.util` elephants light up). Run at fixpoint; every field is
+  /// deterministic at any `Threads` setting, because set *contents* are
+  /// (DESIGN.md §11) and the walk sorts before hashing.
+  observe::ProfileCensus
+  censusPointsTo(const std::vector<std::string> &PackagePrefixes) const;
 
   struct Stats {
     uint64_t WorkItems = 0;
